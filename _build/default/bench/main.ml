@@ -1,0 +1,147 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and, with "bechamel",
+   measures the simulator's own throughput with one Bechamel test per
+   table/figure.
+
+   Usage: main.exe [experiment ...]
+     paper artifacts: table2 table3 table5 fig4 vhe irqdist pinning zerocopy
+     extensions:      oversub disk tail coldstart lrs gicv3 ticks linkspeed
+                      isolation guestops crosscall vapic twodwalk multiqueue
+                      lazyswitch consolidation tracereplay structural
+                      fig4chart
+     also:            bechamel, all (default) *)
+
+module Experiment = Armvirt_core.Experiment
+module Report = Armvirt_core.Report
+
+let ppf = Format.std_formatter
+
+let run_table2 () = Report.pp_table2 ppf (Experiment.table2 ())
+let run_table3 () = Report.pp_table3 ppf (Experiment.table3 ())
+let run_table5 () = Report.pp_table5 ppf (Experiment.table5 ())
+let run_fig4 () = Report.pp_fig4 ppf (Experiment.fig4 ())
+
+let run_vhe () =
+  Report.pp_vhe ppf (Experiment.vhe ());
+  Format.pp_print_newline ppf ();
+  Report.pp_vhe_app ppf (Experiment.vhe_app ())
+
+let run_irqdist () = Report.pp_irqdist ppf (Experiment.irqdist ())
+let run_pinning () = Report.pp_pinning ppf (Experiment.pinning ())
+
+let run_zerocopy () =
+  Report.pp_zerocopy ppf (Experiment.zerocopy ());
+  Format.fprintf ppf
+    "x86 break-even: zero copy only pays off above %d bytes per transfer \
+     (8-CPU TLB shootdown), hence Xen x86 copies (section V).@."
+    (Experiment.x86_zero_copy_break_even ())
+
+(* Bechamel: how fast the simulator itself regenerates each artifact. *)
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let stage f = Staged.stage (fun () -> ignore (f ())) in
+  let tests =
+    Test.make_grouped ~name:"regenerate"
+      [
+        Test.make ~name:"table2"
+          (stage (fun () -> Experiment.table2 ~iterations:2 ()));
+        Test.make ~name:"table3" (stage Experiment.table3);
+        Test.make ~name:"table5"
+          (stage (fun () -> Experiment.table5 ~transactions:50 ()));
+        Test.make ~name:"fig4" (stage Experiment.fig4);
+        Test.make ~name:"vhe" (stage (fun () -> Experiment.vhe ~iterations:2 ()));
+        Test.make ~name:"irqdist" (stage Experiment.irqdist);
+        Test.make ~name:"pinning"
+          (stage (fun () -> Experiment.pinning ~iterations:2 ()));
+        Test.make ~name:"zerocopy" (stage Experiment.zerocopy);
+        Test.make ~name:"oversub" (stage Experiment.oversub);
+        Test.make ~name:"disk" (stage Experiment.disk);
+        Test.make ~name:"tail" (stage Experiment.tail);
+        Test.make ~name:"coldstart" (stage Experiment.coldstart);
+        Test.make ~name:"lrs" (stage Experiment.lrs);
+        Test.make ~name:"gicv3" (stage Experiment.gicv3);
+        Test.make ~name:"ticks" (stage Experiment.ticks);
+        Test.make ~name:"linkspeed" (stage Experiment.linkspeed);
+        Test.make ~name:"isolation" (stage Experiment.isolation);
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.fprintf ppf "Bechamel: simulator cost per regeneration@.";
+  let rows =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] -> Format.fprintf ppf "  %-24s %12.0f ns/run@." name ns
+      | Some _ | None -> Format.fprintf ppf "  %-24s (no estimate)@." name)
+    rows
+
+let experiments =
+  [
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("table5", run_table5);
+    ("fig4", run_fig4);
+    ("vhe", run_vhe);
+    ("irqdist", run_irqdist);
+    ("pinning", run_pinning);
+    ("zerocopy", run_zerocopy);
+    ("oversub", fun () -> Report.pp_oversub ppf (Experiment.oversub ()));
+    ("disk", fun () -> Report.pp_disk ppf (Experiment.disk ()));
+    ("tail", fun () -> Report.pp_tail ppf (Experiment.tail ()));
+    ("coldstart", fun () -> Report.pp_coldstart ppf (Experiment.coldstart ()));
+    ("lrs", fun () -> Report.pp_lrs ppf (Experiment.lrs ()));
+    ("gicv3", fun () -> Report.pp_gicv3 ppf (Experiment.gicv3 ()));
+    ("ticks", fun () -> Report.pp_ticks ppf (Experiment.ticks ()));
+    ("linkspeed", fun () -> Report.pp_linkspeed ppf (Experiment.linkspeed ()));
+    ("isolation", fun () -> Report.pp_isolation ppf (Experiment.isolation ()));
+    ("structural", fun () -> Report.pp_structural ppf (Experiment.structural ()));
+    ("lazyswitch", fun () -> Report.pp_lazyswitch ppf (Experiment.lazyswitch ()));
+    ("guestops", fun () -> Report.pp_guestops ppf (Experiment.guestops ()));
+    ("crosscall", fun () -> Report.pp_crosscall ppf (Experiment.crosscall ()));
+    ("twodwalk", fun () -> Report.pp_twodwalk ppf (Experiment.twodwalk ()));
+    ("multiqueue", fun () -> Report.pp_multiqueue ppf (Experiment.multiqueue ()));
+    ( "tracereplay",
+      fun () -> Report.pp_tracereplay ppf (Experiment.tracereplay ()) );
+    ( "vapic",
+      fun () ->
+        Report.pp_vapic ppf (Experiment.vapic ());
+        Report.pp_vapic_apps ppf (Experiment.vapic_apps ()) );
+    ( "consolidation",
+      fun () -> Report.pp_consolidation ppf (Experiment.consolidation ()) );
+    ( "fig4chart",
+      fun () -> Report.pp_fig4_chart ppf (Experiment.fig4 ()) );
+  ]
+
+let run_one name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+      f ();
+      Format.pp_print_newline ppf ()
+  | None ->
+      if name = "bechamel" then run_bechamel ()
+      else begin
+        Format.fprintf ppf
+          "unknown experiment %S; available: %s bechamel all@." name
+          (String.concat " " (List.map fst experiments));
+        exit 1
+      end
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "all" ] ->
+      List.iter (fun (name, _) -> run_one name) experiments;
+      run_bechamel ()
+  | names -> List.iter run_one names

@@ -1,0 +1,376 @@
+(* armvirt: command-line front end for the reproduction.
+
+   Subcommands:
+     list          enumerate experiments, platforms and workloads
+     run           regenerate paper tables/figures by experiment id
+     micro         run the Table I microbenchmark suite on one hypervisor
+     app           run one application workload through the Figure 4 model
+     rr            run the Netperf TCP_RR decomposition on one hypervisor *)
+
+module Platform = Armvirt_core.Platform
+module Experiment = Armvirt_core.Experiment
+module Report = Armvirt_core.Report
+module W = Armvirt_workloads
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* --- shared converters ------------------------------------------------ *)
+
+let platform_conv =
+  let parse = function
+    | "arm" -> Ok Platform.Arm_m400
+    | "arm-vhe" -> Ok Platform.Arm_m400_vhe
+    | "x86" -> Ok Platform.X86_r320
+    | s -> Error (`Msg (Printf.sprintf "unknown platform %S (arm|arm-vhe|x86)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+      | Platform.Arm_m400 -> "arm"
+      | Platform.Arm_m400_vhe -> "arm-vhe"
+      | Platform.X86_r320 -> "x86")
+  in
+  Arg.conv (parse, print)
+
+let hyp_conv =
+  let parse = function
+    | "kvm" -> Ok (Some Platform.Kvm)
+    | "xen" -> Ok (Some Platform.Xen)
+    | "native" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown hypervisor %S (kvm|xen|native)" s))
+  in
+  let print fmt h =
+    Format.pp_print_string fmt
+      (match h with
+      | Some Platform.Kvm -> "kvm"
+      | Some Platform.Xen -> "xen"
+      | None -> "native")
+  in
+  Arg.conv (parse, print)
+
+let platform_arg =
+  Arg.(
+    value
+    & opt platform_conv Platform.Arm_m400
+    & info [ "p"; "platform" ] ~docv:"PLATFORM"
+        ~doc:"Platform: arm, arm-vhe or x86.")
+
+let hyp_arg =
+  Arg.(
+    value
+    & opt hyp_conv (Some Platform.Kvm)
+    & info [ "H"; "hypervisor" ] ~docv:"HYP"
+        ~doc:"Hypervisor: kvm, xen or native.")
+
+let resolve platform hyp =
+  match hyp with
+  | Some id -> Platform.hypervisor platform id
+  | None -> Platform.native platform
+
+(* --- list ------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table2", "Table II: the seven microbenchmarks on all four hypervisors");
+    ("table3", "Table III: KVM ARM hypercall save/restore decomposition");
+    ("table5", "Table V: Netperf TCP_RR latency analysis on ARM");
+    ("fig4", "Figure 4: application benchmark performance, normalized");
+    ("vhe", "Section VI: ARMv8.1 VHE microbenchmarks and app predictions");
+    ("irqdist", "Section V ablation: distributing virtual interrupts");
+    ("pinning", "Section IV check: Xen I/O latency vs pinning");
+    ("zerocopy", "Section V what-if: Xen zero copy on ARM");
+    ("oversub", "Extension: VM Switch cost under oversubscription");
+    ("disk", "Extension: paravirtual block I/O latency/throughput");
+    ("tail", "Extension: open-loop tail latency percentiles");
+    ("coldstart", "Extension: cold-start stage-2 faulting");
+    ("lrs", "Extension: vGIC list-register sensitivity");
+    ("gicv3", "Extension: GICv2 vs GICv3 interrupt-controller ablation");
+    ("ticks", "Extension: virtual-timer tick overhead per guest HZ");
+    ("linkspeed", "Extension: TCP_STREAM at 1 vs 10 GbE wire speed");
+    ("isolation", "Extension: measurement variability without isolation");
+    ("structural", "Cross-validation: structural stacks vs analytic models");
+    ("lazyswitch", "Extension: post-paper lazy state-switching optimizations");
+    ("guestops", "Extension: guest-local operation costs (what stays native)");
+    ("crosscall", "Extension: guest broadcast cross-call (TLB shootdown) cost");
+    ("vapic", "Extension: x86 with vAPIC (hardware interrupt completion)");
+    ("twodwalk", "Extension: nested paging's 24-access 2D page walk");
+    ("multiqueue", "Extension: virtio-net multiqueue vs the IRQ bottleneck");
+    ("tracereplay", "Extension: synthetic trace replay, per-request surcharges");
+    ("consolidation", "Extension: VM density (N memcached VMs per host)");
+    ("fig4chart", "Figure 4 as ASCII bars (ARM columns)");
+  ]
+
+let list_cmd =
+  let run () =
+    print_endline "Experiments (armvirt run <id>):";
+    List.iter (fun (id, doc) -> Printf.printf "  %-10s %s\n" id doc) experiments;
+    print_endline "\nPlatforms (-p): arm, arm-vhe, x86";
+    print_endline "Hypervisors (-H): kvm, xen, native";
+    print_endline "\nApplication workloads (armvirt app <name>):";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-14s %s\n" w.W.Workload.name
+          w.W.Workload.description)
+      W.Workload.all;
+    List.iter
+      (fun (n, d) -> Printf.printf "  %-14s %s\n" n d)
+      [
+        ("TCP_RR", "netperf 1-byte request-response (latency)");
+        ("TCP_STREAM", "netperf bulk receive into the VM (throughput)");
+        ("TCP_MAERTS", "netperf bulk transmit out of the VM (throughput)");
+      ]
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Enumerate experiments, platforms and workloads")
+    Term.(const run $ const ())
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_experiment = function
+  | "table2" -> Report.pp_table2 ppf (Experiment.table2 ())
+  | "table3" -> Report.pp_table3 ppf (Experiment.table3 ())
+  | "table5" -> Report.pp_table5 ppf (Experiment.table5 ())
+  | "fig4" -> Report.pp_fig4 ppf (Experiment.fig4 ())
+  | "vhe" ->
+      Report.pp_vhe ppf (Experiment.vhe ());
+      Report.pp_vhe_app ppf (Experiment.vhe_app ())
+  | "irqdist" -> Report.pp_irqdist ppf (Experiment.irqdist ())
+  | "pinning" -> Report.pp_pinning ppf (Experiment.pinning ())
+  | "zerocopy" ->
+      Report.pp_zerocopy ppf (Experiment.zerocopy ());
+      Format.fprintf ppf "x86 zero-copy break-even: %d bytes@."
+        (Experiment.x86_zero_copy_break_even ())
+  | "oversub" -> Report.pp_oversub ppf (Experiment.oversub ())
+  | "disk" -> Report.pp_disk ppf (Experiment.disk ())
+  | "tail" -> Report.pp_tail ppf (Experiment.tail ())
+  | "coldstart" -> Report.pp_coldstart ppf (Experiment.coldstart ())
+  | "lrs" -> Report.pp_lrs ppf (Experiment.lrs ())
+  | "gicv3" -> Report.pp_gicv3 ppf (Experiment.gicv3 ())
+  | "ticks" -> Report.pp_ticks ppf (Experiment.ticks ())
+  | "linkspeed" -> Report.pp_linkspeed ppf (Experiment.linkspeed ())
+  | "isolation" -> Report.pp_isolation ppf (Experiment.isolation ())
+  | "structural" -> Report.pp_structural ppf (Experiment.structural ())
+  | "lazyswitch" -> Report.pp_lazyswitch ppf (Experiment.lazyswitch ())
+  | "guestops" -> Report.pp_guestops ppf (Experiment.guestops ())
+  | "crosscall" -> Report.pp_crosscall ppf (Experiment.crosscall ())
+  | "twodwalk" -> Report.pp_twodwalk ppf (Experiment.twodwalk ())
+  | "multiqueue" -> Report.pp_multiqueue ppf (Experiment.multiqueue ())
+  | "tracereplay" -> Report.pp_tracereplay ppf (Experiment.tracereplay ())
+  | "vapic" ->
+      Report.pp_vapic ppf (Experiment.vapic ());
+      Report.pp_vapic_apps ppf (Experiment.vapic_apps ())
+  | "consolidation" ->
+      Report.pp_consolidation ppf (Experiment.consolidation ())
+  | "fig4chart" -> Report.pp_fig4_chart ppf (Experiment.fig4 ())
+  | other -> Format.fprintf ppf "unknown experiment %S; try `armvirt list`@." other
+
+let run_cmd =
+  let ids =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see `armvirt list`).")
+  in
+  let run ids = List.iter run_experiment ids in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ ids)
+
+(* --- micro ---------------------------------------------------------------- *)
+
+let micro_cmd =
+  let iterations =
+    Arg.(
+      value & opt int 32
+      & info [ "iterations" ] ~docv:"N" ~doc:"Iterations per microbenchmark.")
+  in
+  let run platform hyp iterations =
+    let hypervisor = resolve platform hyp in
+    Format.fprintf ppf "%s on %s@." hypervisor.Hypervisor.name
+      (Platform.name platform);
+    let rows = W.Microbench.to_rows (W.Microbench.run ~iterations hypervisor) in
+    List.iter
+      (fun (name, cycles) -> Format.fprintf ppf "  %-28s %8d cycles@." name cycles)
+      rows
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run the Table I microbenchmark suite")
+    Term.(const run $ platform_arg $ hyp_arg $ iterations)
+
+(* --- app ------------------------------------------------------------------- *)
+
+let app_cmd =
+  let workload =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `armvirt list`).")
+  in
+  let distribute =
+    Arg.(
+      value & flag
+      & info [ "distribute-irqs" ]
+          ~doc:"Spread virtual interrupts across all VCPUs (section V ablation).")
+  in
+  let run platform hyp name distribute =
+    let hypervisor = resolve platform hyp in
+    match String.uppercase_ascii name with
+    | "TCP_RR" ->
+        let r = W.Netperf.run_tcp_rr hypervisor in
+        Format.fprintf ppf "%s: %.0f trans/s, %.1f us/trans (%.2fx native)@."
+          hypervisor.Hypervisor.name r.W.Netperf.trans_per_sec
+          r.W.Netperf.time_per_trans_us r.W.Netperf.normalized
+    | "TCP_STREAM" ->
+        let r = W.Netperf.tcp_stream hypervisor in
+        Format.fprintf ppf "%s: %.2f Gb/s (%.2fx native time, %s-bound)@."
+          hypervisor.Hypervisor.name r.W.Netperf.gbps
+          r.W.Netperf.stream_normalized r.W.Netperf.stream_bottleneck
+    | "TCP_MAERTS" ->
+        let r = W.Netperf.tcp_maerts hypervisor in
+        Format.fprintf ppf "%s: %.2f Gb/s (%.2fx native time, %s-bound)@."
+          hypervisor.Hypervisor.name r.W.Netperf.gbps
+          r.W.Netperf.stream_normalized r.W.Netperf.stream_bottleneck
+    | _ -> (
+        match W.Workload.find name with
+        | None ->
+            Format.fprintf ppf "unknown workload %S; try `armvirt list`@." name
+        | Some w ->
+            let irq_distribution =
+              if distribute then W.App_model.All_vcpus
+              else W.App_model.Single_vcpu
+            in
+            let v = W.App_model.run ~irq_distribution w hypervisor in
+            Format.fprintf ppf
+              "%s on %s: %.2fx native (overhead %.1f%%, bottleneck: %s)@."
+              w.W.Workload.name hypervisor.Hypervisor.name
+              v.W.App_model.normalized
+              (W.App_model.overhead_percent v)
+              v.W.App_model.bottleneck)
+  in
+  Cmd.v
+    (Cmd.info "app" ~doc:"Run one application workload (Figure 4 model)")
+    Term.(const run $ platform_arg $ hyp_arg $ workload $ distribute)
+
+(* --- rr ---------------------------------------------------------------------- *)
+
+let rr_cmd =
+  let transactions =
+    Arg.(
+      value & opt int 400
+      & info [ "transactions" ] ~docv:"N" ~doc:"Transactions to simulate.")
+  in
+  let run platform hyp transactions =
+    let hypervisor = resolve platform hyp in
+    let r = W.Netperf.run_tcp_rr ~transactions hypervisor in
+    Format.fprintf ppf "%s TCP_RR (%d transactions)@." hypervisor.Hypervisor.name
+      transactions;
+    Format.fprintf ppf "  trans/s       %10.0f@." r.W.Netperf.trans_per_sec;
+    Format.fprintf ppf "  time/trans    %10.1f us@." r.W.Netperf.time_per_trans_us;
+    Format.fprintf ppf "  send to recv  %10.1f us@." r.W.Netperf.send_to_recv_us;
+    Format.fprintf ppf "  recv to send  %10.1f us@." r.W.Netperf.recv_to_send_us;
+    let opt label = function
+      | Some v -> Format.fprintf ppf "  %-13s %10.1f us@." label v
+      | None -> ()
+    in
+    opt "-> VM recv" r.W.Netperf.recv_to_vm_recv_us;
+    opt "in VM" r.W.Netperf.vm_recv_to_vm_send_us;
+    opt "VM send ->" r.W.Netperf.vm_send_to_send_us
+  in
+  Cmd.v
+    (Cmd.info "rr" ~doc:"Netperf TCP_RR latency decomposition (Table V)")
+    Term.(const run $ platform_arg $ hyp_arg $ transactions)
+
+(* --- timeline ------------------------------------------------------------ *)
+
+let timeline_cmd =
+  let operation =
+    Arg.(
+      value
+      & opt string "hypercall"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Operation to trace: hypercall, ict, eoi, vmswitch, vipi, io-out \
+             or io-in.")
+  in
+  let run platform hyp op =
+    let hypervisor = resolve platform hyp in
+    let machine = hypervisor.Hypervisor.machine in
+    let trace = Armvirt_stats.Trace.create () in
+    let path : (unit -> unit) option =
+      match op with
+      | "hypercall" -> Some hypervisor.Hypervisor.hypercall
+      | "ict" -> Some hypervisor.Hypervisor.interrupt_controller_trap
+      | "eoi" -> Some hypervisor.Hypervisor.virtual_irq_completion
+      | "vmswitch" -> Some hypervisor.Hypervisor.vm_switch
+      | "vipi" -> Some (fun () -> ignore (hypervisor.Hypervisor.virtual_ipi ()))
+      | "io-out" ->
+          Some (fun () -> ignore (hypervisor.Hypervisor.io_latency_out ()))
+      | "io-in" ->
+          Some (fun () -> ignore (hypervisor.Hypervisor.io_latency_in ()))
+      | _ -> None
+    in
+    match path with
+    | None ->
+        Format.fprintf ppf
+          "unknown operation %S (hypercall|ict|eoi|vmswitch|vipi|io-out|io-in)@."
+          op
+    | Some path ->
+        Armvirt_engine.Sim.spawn
+          (Armvirt_arch.Machine.sim machine)
+          ~name:"timeline" (fun () ->
+            Armvirt_arch.Machine.observe machine
+              (Some
+                 (fun ~label ~cycles ~now ->
+                   Armvirt_stats.Trace.record trace ~label ~cycles ~now));
+            path ();
+            Armvirt_arch.Machine.observe machine None);
+        Armvirt_engine.Sim.run (Armvirt_arch.Machine.sim machine);
+        Format.fprintf ppf "%s: %s, step by step@." hypervisor.Hypervisor.name
+          op;
+        Armvirt_stats.Trace.pp_timeline ppf trace;
+        Format.fprintf ppf "total: %d cycles@."
+          (Armvirt_stats.Trace.total_cycles trace)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Cycle-by-cycle ledger of one hypervisor operation")
+    Term.(const run $ platform_arg $ hyp_arg $ operation)
+
+(* --- report ---------------------------------------------------------------- *)
+
+let report_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the markdown report to $(docv) instead of stdout.")
+  in
+  let run output =
+    let report = Armvirt_core.Markdown.full_report () in
+    match output with
+    | None -> print_string report
+    | Some path ->
+        let oc = open_out path in
+        output_string oc report;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length report)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate the paper's tables as a markdown report")
+    Term.(const run $ output)
+
+let () =
+  let doc =
+    "simulation-based reproduction of 'ARM Virtualization: Performance and \
+     Architectural Implications' (ISCA 2016)"
+  in
+  let info = Cmd.info "armvirt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; timeline_cmd;
+            report_cmd;
+          ]))

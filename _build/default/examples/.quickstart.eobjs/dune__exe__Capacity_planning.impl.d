@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Armvirt_core Armvirt_workloads List Printf String

@@ -1,0 +1,1 @@
+examples/custom_hypervisor.ml: Armvirt_core Armvirt_hypervisor Armvirt_workloads List Option Printf String

@@ -1,0 +1,1 @@
+examples/methodology_tour.ml: Armvirt_core Armvirt_workloads Format List Printf

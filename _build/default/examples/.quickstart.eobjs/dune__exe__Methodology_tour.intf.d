@@ -1,0 +1,1 @@
+examples/methodology_tour.mli:

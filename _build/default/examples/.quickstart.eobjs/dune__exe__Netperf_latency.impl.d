@@ -1,0 +1,1 @@
+examples/netperf_latency.ml: Armvirt_core Armvirt_workloads Option Printf String

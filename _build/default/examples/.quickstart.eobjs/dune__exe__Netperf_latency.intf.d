@@ -1,0 +1,1 @@
+examples/netperf_latency.mli:

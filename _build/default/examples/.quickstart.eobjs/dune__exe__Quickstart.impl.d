@@ -1,0 +1,1 @@
+examples/quickstart.ml: Armvirt_core Armvirt_workloads List Printf String

@@ -1,0 +1,1 @@
+examples/transition_timeline.mli:

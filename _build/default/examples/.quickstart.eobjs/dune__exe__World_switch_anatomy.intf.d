@@ -1,0 +1,1 @@
+examples/world_switch_anatomy.mli:

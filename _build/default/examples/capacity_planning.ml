@@ -1,0 +1,75 @@
+(* Capacity planning: the downstream-user scenario the paper's intro
+   motivates — "companies evaluating how best to deploy ARM
+   virtualization solutions to meet their infrastructure needs".
+
+   We define a custom workload profile for a hypothetical API server,
+   run it through the Figure 4 bottleneck model on every
+   platform/hypervisor combination (including the ARMv8.1 VHE what-if),
+   and report which resource binds where.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+module Platform = Armvirt_core.Platform
+module Workload = Armvirt_workloads.Workload
+module App_model = Armvirt_workloads.App_model
+
+(* A JSON-over-HTTP API server: 2 KB requests, 8 KB responses, ~300k
+   cycles of application work per request, moderately interrupt-heavy. *)
+let api_server =
+  {
+    Workload.name = "API server";
+    description = "hypothetical JSON API, 2 KB in / 8 KB out per request";
+    category = Workload.Io_throughput;
+    unit_name = "1000 requests";
+    total_cycles = 0.9e9;
+    irq_side_cycles = 0.2e9;
+    device_irqs = 12_000.0;
+    tx_completion_events = 8_000.0;
+    packets_rx = 4_000.0;
+    packets_tx = 8_000.0;
+    bytes_rx = 2e6;
+    bytes_tx = 8e6;
+    kicks = 5_000.0;
+    vipis = 1_500.0;
+  }
+
+let configurations =
+  [
+    ("KVM on ARM (m400)", Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+    ("Xen on ARM (m400)", Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+    ("KVM on x86 (r320)", Platform.hypervisor Platform.X86_r320 Platform.Kvm);
+    ("Xen on x86 (r320)", Platform.hypervisor Platform.X86_r320 Platform.Xen);
+    ( "KVM on ARMv8.1 VHE",
+      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm );
+  ]
+
+let () =
+  Printf.printf "=== Capacity planning: %s ===\n\n" api_server.Workload.name;
+  Printf.printf "%-22s %12s %14s %12s\n" "Configuration" "normalized"
+    "capacity vs" "bottleneck";
+  Printf.printf "%-22s %12s %14s %12s\n" "" "(1.0=native)" "native" "";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (name, hyp) ->
+      let v = App_model.run api_server hyp in
+      Printf.printf "%-22s %12.2f %13.0f%% %12s\n" name
+        v.App_model.normalized
+        (100.0 /. v.App_model.normalized)
+        v.App_model.bottleneck)
+    configurations;
+  print_newline ();
+  print_endline "With interrupts spread across all VCPUs (the paper's ablation):";
+  List.iter
+    (fun (name, hyp) ->
+      let v =
+        App_model.run ~irq_distribution:App_model.All_vcpus api_server hyp
+      in
+      Printf.printf "  %-22s %6.2f\n" name v.App_model.normalized)
+    configurations;
+  print_newline ();
+  print_endline
+    "Takeaways match section V: the Type 2 hypervisors win on I/O-heavy\n\
+     serving because the backend shares the host kernel (zero copy, good\n\
+     coalescing); Xen's Dom0 indirection and grant copies cost real\n\
+     capacity; and a single VCPU absorbing every virtual interrupt is\n\
+     the first resource to saturate on all of them."

@@ -1,0 +1,1 @@
+lib/arch/arm_ops.ml: Armvirt_engine Cost_model List Machine Reg_class

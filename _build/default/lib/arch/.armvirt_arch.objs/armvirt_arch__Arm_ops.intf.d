@@ -1,0 +1,1 @@
+lib/arch/arm_ops.mli: Armvirt_engine Cost_model Machine Reg_class

@@ -1,0 +1,1 @@
+lib/arch/cost_model.ml: Float List Reg_class Stdlib

@@ -1,0 +1,1 @@
+lib/arch/cost_model.mli: Reg_class

@@ -1,0 +1,1 @@
+lib/arch/el2_state.mli: Format

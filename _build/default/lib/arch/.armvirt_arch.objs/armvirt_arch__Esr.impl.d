@@ -1,0 +1,1 @@
+lib/arch/esr.ml: List Option

@@ -1,0 +1,1 @@
+lib/arch/exception_level.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Armvirt_engine Armvirt_stats Array Cost_model Printf

@@ -1,0 +1,1 @@
+lib/arch/machine.mli: Armvirt_engine Armvirt_stats Cost_model

@@ -1,0 +1,1 @@
+lib/arch/reg_class.mli: Format

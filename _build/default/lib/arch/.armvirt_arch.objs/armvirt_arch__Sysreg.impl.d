@@ -1,0 +1,1 @@
+lib/arch/sysreg.ml: List

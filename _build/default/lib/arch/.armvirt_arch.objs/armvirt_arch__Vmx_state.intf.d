@@ -1,0 +1,1 @@
+lib/arch/vmx_state.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/x86_ops.ml: Armvirt_engine Cost_model Machine

@@ -1,0 +1,27 @@
+type arm = El0 | El1 | El2
+type x86_operation = Root | Non_root
+type x86_ring = Ring0 | Ring3
+type x86 = { operation : x86_operation; ring : x86_ring }
+type t = Arm of arm | X86 of x86
+
+let arm_is_hyp = function El2 -> true | El0 | El1 -> false
+
+let arm_rank = function El0 -> 0 | El1 -> 1 | El2 -> 2
+let arm_more_privileged a b = arm_rank a > arm_rank b
+
+let x86_is_hyp x = x.operation = Root
+
+let pp_arm ppf el =
+  Format.pp_print_string ppf
+    (match el with El0 -> "EL0" | El1 -> "EL1" | El2 -> "EL2")
+
+let pp_x86 ppf x =
+  Format.fprintf ppf "%s/%s"
+    (match x.operation with Root -> "root" | Non_root -> "non-root")
+    (match x.ring with Ring0 -> "ring0" | Ring3 -> "ring3")
+
+let pp ppf = function
+  | Arm el -> pp_arm ppf el
+  | X86 x -> pp_x86 ppf x
+
+let equal = ( = )

@@ -1,0 +1,29 @@
+(** CPU privilege modes on the two simulated architectures.
+
+    ARM exception levels are a strict hierarchy with EL2 being a separate
+    mode with its own register state; x86 root/non-root operation is
+    orthogonal to the protection rings (section II of the paper contrasts
+    the two designs). *)
+
+type arm = El0 | El1 | El2
+
+type x86_operation = Root | Non_root
+type x86_ring = Ring0 | Ring3
+type x86 = { operation : x86_operation; ring : x86_ring }
+
+type t = Arm of arm | X86 of x86
+
+val arm_is_hyp : arm -> bool
+(** EL2, the mode ARM designed for hypervisors. *)
+
+val arm_more_privileged : arm -> arm -> bool
+(** [arm_more_privileged a b] is true when [a] is strictly more privileged
+    than [b]. *)
+
+val x86_is_hyp : x86 -> bool
+(** Root operation, in any ring. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_arm : Format.formatter -> arm -> unit
+val pp_x86 : Format.formatter -> x86 -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,67 @@
+type t =
+  | Sctlr_el1 | Ttbr0_el1 | Ttbr1_el1 | Tcr_el1 | Vbar_el1 | Elr_el1
+  | Spsr_el1 | Esr_el1 | Far_el1 | Mair_el1 | Contextidr_el1 | Tpidr_el1
+  | Cntkctl_el1
+  | Sctlr_el2 | Ttbr0_el2 | Ttbr1_el2 | Tcr_el2 | Vbar_el2 | Elr_el2
+  | Spsr_el2 | Esr_el2 | Far_el2 | Mair_el2 | Contextidr_el2 | Tpidr_el2
+  | Cntkctl_el2
+  | Hcr_el2 | Vttbr_el2 | Vtcr_el2 | Vpidr_el2 | Vmpidr_el2
+
+let name = function
+  | Sctlr_el1 -> "sctlr_el1" | Ttbr0_el1 -> "ttbr0_el1"
+  | Ttbr1_el1 -> "ttbr1_el1" | Tcr_el1 -> "tcr_el1"
+  | Vbar_el1 -> "vbar_el1" | Elr_el1 -> "elr_el1"
+  | Spsr_el1 -> "spsr_el1" | Esr_el1 -> "esr_el1"
+  | Far_el1 -> "far_el1" | Mair_el1 -> "mair_el1"
+  | Contextidr_el1 -> "contextidr_el1" | Tpidr_el1 -> "tpidr_el1"
+  | Cntkctl_el1 -> "cntkctl_el1"
+  | Sctlr_el2 -> "sctlr_el2" | Ttbr0_el2 -> "ttbr0_el2"
+  | Ttbr1_el2 -> "ttbr1_el2" | Tcr_el2 -> "tcr_el2"
+  | Vbar_el2 -> "vbar_el2" | Elr_el2 -> "elr_el2"
+  | Spsr_el2 -> "spsr_el2" | Esr_el2 -> "esr_el2"
+  | Far_el2 -> "far_el2" | Mair_el2 -> "mair_el2"
+  | Contextidr_el2 -> "contextidr_el2" | Tpidr_el2 -> "tpidr_el2"
+  | Cntkctl_el2 -> "cntkctl_el2"
+  | Hcr_el2 -> "hcr_el2" | Vttbr_el2 -> "vttbr_el2"
+  | Vtcr_el2 -> "vtcr_el2" | Vpidr_el2 -> "vpidr_el2"
+  | Vmpidr_el2 -> "vmpidr_el2"
+
+let el1_state =
+  [
+    Sctlr_el1; Ttbr0_el1; Ttbr1_el1; Tcr_el1; Vbar_el1; Elr_el1; Spsr_el1;
+    Esr_el1; Far_el1; Mair_el1; Contextidr_el1; Tpidr_el1; Cntkctl_el1;
+  ]
+
+let is_el1 r = List.mem r el1_state
+
+let is_el2 r = not (is_el1 r)
+
+let counterpart = function
+  | Sctlr_el1 -> Some Sctlr_el2 | Ttbr0_el1 -> Some Ttbr0_el2
+  | Ttbr1_el1 -> Some Ttbr1_el2 | Tcr_el1 -> Some Tcr_el2
+  | Vbar_el1 -> Some Vbar_el2 | Elr_el1 -> Some Elr_el2
+  | Spsr_el1 -> Some Spsr_el2 | Esr_el1 -> Some Esr_el2
+  | Far_el1 -> Some Far_el2 | Mair_el1 -> Some Mair_el2
+  | Contextidr_el1 -> Some Contextidr_el2 | Tpidr_el1 -> Some Tpidr_el2
+  | Cntkctl_el1 -> Some Cntkctl_el2
+  | Sctlr_el2 -> Some Sctlr_el1 | Ttbr0_el2 -> Some Ttbr0_el1
+  | Ttbr1_el2 -> Some Ttbr1_el1 | Tcr_el2 -> Some Tcr_el1
+  | Vbar_el2 -> Some Vbar_el1 | Elr_el2 -> Some Elr_el1
+  | Spsr_el2 -> Some Spsr_el1 | Esr_el2 -> Some Esr_el1
+  | Far_el2 -> Some Far_el1 | Mair_el2 -> Some Mair_el1
+  | Contextidr_el2 -> Some Contextidr_el1 | Tpidr_el2 -> Some Tpidr_el1
+  | Cntkctl_el2 -> Some Cntkctl_el1
+  | Hcr_el2 | Vttbr_el2 | Vtcr_el2 | Vpidr_el2 | Vmpidr_el2 -> None
+
+(* TTBR1_EL2 and CONTEXTIDR_EL2 are the registers ARMv8.1 added so an
+   OS designed for EL1 can run in EL2 (split VA space, PID tracking). *)
+let vhe_only = function
+  | Ttbr1_el2 | Contextidr_el2 -> true
+  | _ -> false
+
+let e2h_redirect r =
+  if is_el1 r then
+    match counterpart r with Some el2 -> el2 | None -> r
+  else r
+
+let el12_alias r = if is_el1 r then Some r else None

@@ -1,0 +1,54 @@
+(** ARM system registers and the ARMv8.1 VHE access redirection.
+
+    Section VI describes VHE's second feature in terms of exactly this
+    mechanism: "VHE allows unmodified software to execute in EL2 and
+    transparently access EL2 registers using the EL1 system register
+    instruction encodings. For example, current OS software reads the
+    TTBR1_EL1 register with the instruction [mrs x1, ttbr1_el1]. With
+    VHE, the software still executes the same instruction, but the
+    hardware actually accesses the TTBR1_EL2 register ... A new set of
+    special instructions are added to access the EL1 registers in EL2
+    ([mrs x1, ttbr1_el21])."
+
+    This module models the register name space and both mappings: the
+    E2H redirection (EL1 encoding at EL2 → EL2 register) and the [_EL12]
+    aliases a VHE hypervisor uses to reach the guest's real EL1 state. *)
+
+type t =
+  | Sctlr_el1 | Ttbr0_el1 | Ttbr1_el1 | Tcr_el1 | Vbar_el1 | Elr_el1
+  | Spsr_el1 | Esr_el1 | Far_el1 | Mair_el1 | Contextidr_el1 | Tpidr_el1
+  | Cntkctl_el1
+  | Sctlr_el2 | Ttbr0_el2 | Ttbr1_el2 | Tcr_el2 | Vbar_el2 | Elr_el2
+  | Spsr_el2 | Esr_el2 | Far_el2 | Mair_el2 | Contextidr_el2 | Tpidr_el2
+  | Cntkctl_el2
+  | Hcr_el2 | Vttbr_el2 | Vtcr_el2 | Vpidr_el2 | Vmpidr_el2
+
+val name : t -> string
+(** Lower-case assembler name, e.g. ["ttbr1_el1"]. *)
+
+val is_el1 : t -> bool
+val is_el2 : t -> bool
+
+val vhe_only : t -> bool
+(** Registers that exist only on ARMv8.1 with VHE (e.g. TTBR1_EL2 —
+    "without VHE, EL2 only has one page table base register ... making
+    it problematic to support the split VA space of EL1 when running in
+    EL2"). *)
+
+val e2h_redirect : t -> t
+(** Where an access to this register actually lands when executed at
+    EL2 with E2H set: EL1-encoded accesses are rewritten to their EL2
+    counterparts; everything else is unchanged. *)
+
+val el12_alias : t -> t option
+(** The [_EL12]-encoded alias a VHE hypervisor uses to reach a guest
+    EL1 register from EL2; [None] for registers without one (EL2-only
+    state). [el12_alias r] is [Some r] exactly when [r] is EL1 state. *)
+
+val counterpart : t -> t option
+(** The EL2 register corresponding to an EL1 register and vice versa;
+    [None] for virtualization-control registers with no EL1 analogue. *)
+
+val el1_state : t list
+(** The guest-visible EL1 system registers — the "EL1 System Regs" class
+    split-mode KVM context switches on every transition (Table III). *)

@@ -1,0 +1,46 @@
+module Cycles = Armvirt_engine.Cycles
+
+type t = { machine : Machine.t; hw : Cost_model.x86 }
+
+let create machine =
+  match Machine.cost machine with
+  | Cost_model.X86 hw -> { machine; hw }
+  | Cost_model.Arm _ ->
+      invalid_arg "X86_ops.create: machine has an ARM cost model"
+
+let machine t = t.machine
+let hw t = t.hw
+let vapic_enabled t = t.hw.Cost_model.vapic
+
+let spend t label cycles = Machine.spend t.machine label cycles
+
+let vmcall_issue t = spend t "x86.vmcall_issue" t.hw.Cost_model.vmcall_issue
+let vmexit t = spend t "x86.vmexit" t.hw.Cost_model.vmexit
+let vmentry t = spend t "x86.vmentry" t.hw.Cost_model.vmentry
+
+let eoi t =
+  if t.hw.Cost_model.vapic then spend t "x86.eoi_vapic" 71
+  else begin
+    vmexit t;
+    spend t "x86.eoi_emul" t.hw.Cost_model.eoi_emul;
+    vmentry t
+  end
+
+let virq_guest_dispatch t =
+  spend t "x86.virq_guest_dispatch" t.hw.Cost_model.virq_guest_dispatch
+
+let ipi_wire_latency t = Cycles.of_int t.hw.Cost_model.phys_ipi_wire
+
+let tlb_shootdown t ~cpus =
+  if cpus < 0 then invalid_arg "X86_ops.tlb_shootdown: negative cpu count";
+  spend t "x86.tlb_shootdown"
+    (t.hw.Cost_model.tlb_shootdown_base
+    + (cpus * t.hw.Cost_model.tlb_shootdown_per_cpu))
+
+let page_map t = spend t "x86.page_map" t.hw.Cost_model.page_map_cost
+
+let copy_bytes t n =
+  spend t "x86.copy_bytes"
+    (Cost_model.copy_cost ~per_byte:t.hw.Cost_model.per_byte_copy ~bytes:n)
+
+let barrier_cost t = Cycles.of_int t.hw.Cost_model.timestamp_barrier

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_io Armvirt_mem Armvirt_system Armvirt_workloads Float List Option Paper_data Platform

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Armvirt_workloads Paper_data

@@ -1,0 +1,1 @@
+lib/core/markdown.ml: Armvirt_workloads Buffer Experiment List Paper_data Printf String

@@ -1,0 +1,1 @@
+lib/core/platform.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor

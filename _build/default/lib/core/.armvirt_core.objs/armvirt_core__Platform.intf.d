@@ -1,0 +1,1 @@
+lib/core/platform.mli: Armvirt_arch Armvirt_hypervisor

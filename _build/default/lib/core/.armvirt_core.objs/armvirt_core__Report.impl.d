@@ -1,0 +1,1 @@
+lib/core/report.ml: Armvirt_workloads Experiment Float Format List Paper_data Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Armvirt_workloads Experiment Format

@@ -1,0 +1,606 @@
+module Cycles = Armvirt_engine.Cycles
+module H = Armvirt_hypervisor
+module W = Armvirt_workloads
+module Microbench = W.Microbench
+module Netperf = W.Netperf
+module App_model = W.App_model
+module Workload = W.Workload
+
+type quad_f = {
+  q_kvm_arm : float option;
+  q_xen_arm : float option;
+  q_kvm_x86 : float option;
+  q_xen_x86 : float option;
+}
+
+(* --- table2 ------------------------------------------------------- *)
+
+type table2_row = { micro : string; measured : Paper_data.quad }
+
+let micro_rows ?iterations hyp =
+  Microbench.to_rows (Microbench.run ?iterations hyp)
+
+let table2 ?iterations () =
+  let kvm_arm = micro_rows ?iterations (Platform.hypervisor Arm_m400 Kvm) in
+  let xen_arm = micro_rows ?iterations (Platform.hypervisor Arm_m400 Xen) in
+  let kvm_x86 = micro_rows ?iterations (Platform.hypervisor X86_r320 Kvm) in
+  let xen_x86 = micro_rows ?iterations (Platform.hypervisor X86_r320 Xen) in
+  List.map
+    (fun (name, ka) ->
+      let find rows = List.assoc name rows in
+      {
+        micro = name;
+        measured =
+          {
+            Paper_data.kvm_arm = ka;
+            xen_arm = find xen_arm;
+            kvm_x86 = find kvm_x86;
+            xen_x86 = find xen_x86;
+          };
+      })
+    kvm_arm
+
+(* --- table3 ------------------------------------------------------- *)
+
+let table3 () =
+  List.map
+    (fun (cls, save, restore) ->
+      (Armvirt_arch.Reg_class.to_string cls, save, restore))
+    (H.Kvm_arm.hypercall_breakdown (Platform.kvm_arm ()))
+
+(* --- table5 ------------------------------------------------------- *)
+
+let table5 ?transactions () =
+  [
+    ("Native", Netperf.run_tcp_rr ?transactions (Platform.native Arm_m400));
+    ("KVM", Netperf.run_tcp_rr ?transactions (Platform.hypervisor Arm_m400 Kvm));
+    ("Xen", Netperf.run_tcp_rr ?transactions (Platform.hypervisor Arm_m400 Xen));
+  ]
+
+(* --- fig4 --------------------------------------------------------- *)
+
+type fig4_row = { workload : string; values : quad_f }
+
+let fig4_one (p : Platform.t) (id : Platform.hyp_id) workload_name =
+  (* The paper's missing data point: Apache crashed Dom0 on Xen x86. *)
+  if p = Platform.X86_r320 && id = Platform.Xen && workload_name = "Apache"
+  then None
+  else begin
+    let hyp = Platform.hypervisor p id in
+    match workload_name with
+    | "TCP_RR" -> Some (Netperf.run_tcp_rr hyp).Netperf.normalized
+    | "TCP_STREAM" -> Some (Netperf.tcp_stream hyp).Netperf.stream_normalized
+    | "TCP_MAERTS" -> Some (Netperf.tcp_maerts hyp).Netperf.stream_normalized
+    | name -> (
+        match Workload.find name with
+        | Some w -> Some (App_model.run w hyp).App_model.normalized
+        | None -> invalid_arg ("Experiment.fig4: unknown workload " ^ name))
+  end
+
+let fig4_workloads =
+  [
+    "Kernbench"; "Hackbench"; "SPECjvm2008"; "TCP_RR"; "TCP_STREAM";
+    "TCP_MAERTS"; "Apache"; "Memcached"; "MySQL";
+  ]
+
+let fig4 () =
+  List.map
+    (fun w ->
+      {
+        workload = w;
+        values =
+          {
+            q_kvm_arm = fig4_one Platform.Arm_m400 Platform.Kvm w;
+            q_xen_arm = fig4_one Platform.Arm_m400 Platform.Xen w;
+            q_kvm_x86 = fig4_one Platform.X86_r320 Platform.Kvm w;
+            q_xen_x86 = fig4_one Platform.X86_r320 Platform.Xen w;
+          };
+      })
+    fig4_workloads
+
+(* --- vhe ---------------------------------------------------------- *)
+
+type vhe_row = {
+  operation : string;
+  kvm_split : int;
+  kvm_vhe : int;
+  xen_baseline : int;
+}
+
+let vhe ?iterations () =
+  let split = micro_rows ?iterations (Platform.hypervisor Arm_m400 Kvm) in
+  let vhe = micro_rows ?iterations (Platform.hypervisor Arm_m400_vhe Kvm) in
+  let xen = micro_rows ?iterations (Platform.hypervisor Arm_m400 Xen) in
+  List.map
+    (fun (op, kvm_split) ->
+      {
+        operation = op;
+        kvm_split;
+        kvm_vhe = List.assoc op vhe;
+        xen_baseline = List.assoc op xen;
+      })
+    split
+
+let vhe_app () =
+  let normalized p w =
+    match w with
+    | "TCP_RR" ->
+        (Netperf.run_tcp_rr (Platform.hypervisor p Platform.Kvm))
+          .Netperf.normalized
+    | name ->
+        let workload = Option.get (Workload.find name) in
+        (App_model.run workload (Platform.hypervisor p Platform.Kvm))
+          .App_model.normalized
+  in
+  List.map
+    (fun w ->
+      (w, normalized Platform.Arm_m400 w, normalized Platform.Arm_m400_vhe w))
+    [ "TCP_RR"; "Apache"; "Memcached"; "MySQL" ]
+
+(* --- irqdist ------------------------------------------------------ *)
+
+type irqdist_row = {
+  ablation_workload : string;
+  single_pct : float;
+  distributed_pct : float;
+}
+
+let irqdist () =
+  let for_hyp hyp_name id =
+    let rows =
+      List.map
+        (fun w ->
+          let hyp = Platform.hypervisor Platform.Arm_m400 id in
+          let single = App_model.run ~irq_distribution:Single_vcpu w hyp in
+          let dist = App_model.run ~irq_distribution:All_vcpus w hyp in
+          {
+            ablation_workload = w.Workload.name;
+            single_pct = App_model.overhead_percent single;
+            distributed_pct = App_model.overhead_percent dist;
+          })
+        [ Workload.apache; Workload.memcached ]
+    in
+    (hyp_name, rows)
+  in
+  [ for_hyp "KVM ARM" Platform.Kvm; for_hyp "Xen ARM" Platform.Xen ]
+
+(* --- pinning ------------------------------------------------------ *)
+
+let pinning ?iterations () =
+  let run pin label =
+    let xen = Platform.xen_arm ~pinning:pin () in
+    let rows = micro_rows ?iterations (H.Xen_arm.to_hypervisor xen) in
+    (label, List.assoc "I/O Latency Out" rows, List.assoc "I/O Latency In" rows)
+  in
+  [
+    run H.Xen_arm.Separate "Dom0/DomU on separate PCPUs (paper config)";
+    run H.Xen_arm.Shared "Dom0/DomU sharing PCPUs";
+  ]
+
+(* --- zerocopy ----------------------------------------------------- *)
+
+type zerocopy_row = {
+  zc_config : string;
+  stream_gbps : float;
+  stream_norm : float;
+}
+
+let zerocopy () =
+  let xen = Platform.xen_arm () in
+  let base = H.Xen_arm.to_hypervisor xen in
+  let copying = Netperf.tcp_stream base in
+  let zc_hyp =
+    { base with H.Hypervisor.io_profile = H.Xen_arm.io_profile_zero_copy xen }
+  in
+  let zero = Netperf.tcp_stream zc_hyp in
+  [
+    {
+      zc_config = "Xen ARM, grant copy (measured behaviour)";
+      stream_gbps = copying.Netperf.gbps;
+      stream_norm = copying.Netperf.stream_normalized;
+    };
+    {
+      zc_config = "Xen ARM, zero copy via broadcast TLBI (hypothetical)";
+      stream_gbps = zero.Netperf.gbps;
+      stream_norm = zero.Netperf.stream_normalized;
+    };
+  ]
+
+let x86_zero_copy_break_even () =
+  H.Xen_x86.zero_copy_break_even_bytes (Platform.xen_x86 ()) ~cpus:8
+
+(* --- extension experiments ---------------------------------------- *)
+
+let arm_hypervisors () =
+  [
+    ("KVM ARM", Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+    ("Xen ARM", Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+  ]
+
+let oversub () =
+  List.map
+    (fun (name, hyp) ->
+      ( name,
+        W.Oversub.sweep hyp ~vms:[ 1; 2; 4 ]
+          ~timeslices_ms:[ 1.0; 30.0 ] ~work_ms_per_vcpu:100.0 ))
+    (arm_hypervisors ())
+
+let disk () =
+  let on_device platform device =
+    List.map
+      (fun hyp -> W.Diskbench.run hyp ~device)
+      [
+        Platform.native platform;
+        Platform.hypervisor platform Platform.Kvm;
+        Platform.hypervisor platform Platform.Xen;
+      ]
+  in
+  on_device Platform.Arm_m400 Armvirt_io.Blk_device.ssd_sata3
+  @ on_device Platform.X86_r320 Armvirt_io.Blk_device.raid5_hd
+
+let tail () =
+  List.map
+    (fun load ->
+      ( load,
+        List.map
+          (fun hyp -> W.Tail_latency.run hyp ~load)
+          [
+            Platform.native Platform.Arm_m400;
+            Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
+            Platform.hypervisor Platform.Arm_m400 Platform.Xen;
+          ] ))
+    [ 0.3; 0.6; 0.8 ]
+
+let coldstart () =
+  List.map
+    (fun hyp -> W.Coldstart.run hyp ~pages:8192)
+    [
+      Platform.native Platform.Arm_m400;
+      Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
+      Platform.hypervisor Platform.Arm_m400 Platform.Xen;
+      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm;
+    ]
+
+(* GICv2 vs GICv3 vs +VHE: how much of Table II is interrupt-controller
+   microarchitecture rather than hypervisor design. *)
+let gicv3 () =
+  let machine_of cost =
+    let sim = Armvirt_engine.Sim.create () in
+    Armvirt_arch.Machine.create sim ~cost:(Armvirt_arch.Cost_model.Arm cost)
+      ~num_cpus:8
+  in
+  let kvm_on cost =
+    H.Kvm_arm.to_hypervisor (H.Kvm_arm.create (machine_of cost))
+  in
+  let xen_on cost =
+    H.Xen_arm.to_hypervisor (H.Xen_arm.create (machine_of cost))
+  in
+  List.map
+    (fun (label, hyp) -> (label, micro_rows ~iterations:2 hyp))
+    [
+      ("KVM, GICv2 (measured)", kvm_on Armvirt_arch.Cost_model.arm_default);
+      ("KVM, GICv3", kvm_on Armvirt_arch.Cost_model.arm_gicv3);
+      ("KVM, GICv3 + VHE", kvm_on Armvirt_arch.Cost_model.arm_gicv3_vhe);
+      ("Xen, GICv2 (measured)", xen_on Armvirt_arch.Cost_model.arm_default);
+      ("Xen, GICv3", xen_on Armvirt_arch.Cost_model.arm_gicv3);
+    ]
+
+let ticks () =
+  List.concat_map
+    (fun hyp -> W.Timer_tick.sweep hyp ~hz:[ 100; 250; 1000 ])
+    [
+      Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
+      Platform.hypervisor Platform.Arm_m400 Platform.Xen;
+      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm;
+    ]
+
+type linkspeed_row = {
+  ls_config : string;
+  ls_wire_gbps : float;
+  ls_gbps : float;
+  ls_normalized : float;
+}
+
+let linkspeed () =
+  List.concat_map
+    (fun (name, id) ->
+      List.map
+        (fun wire ->
+          let r =
+            W.Netperf.tcp_stream ~wire_gbps:wire
+              (Platform.hypervisor Platform.Arm_m400 id)
+          in
+          {
+            ls_config = name;
+            ls_wire_gbps = wire;
+            ls_gbps = Float.min wire r.W.Netperf.gbps;
+            ls_normalized = Float.max 1.0 (wire /. r.W.Netperf.gbps);
+          })
+        [ 0.94; 9.42 ])
+    [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
+
+let isolation () =
+  let kvm () = Platform.hypervisor Platform.Arm_m400 Platform.Kvm in
+  [
+    W.Isolation.run ~interference:false (kvm ());
+    W.Isolation.run ~interference:true (kvm ());
+  ]
+
+let guestops () =
+  [
+    ("Native", W.Guest_ops.measure (Platform.native Platform.Arm_m400));
+    ("KVM ARM", W.Guest_ops.measure (Platform.hypervisor Platform.Arm_m400 Platform.Kvm));
+    ("Xen ARM", W.Guest_ops.measure (Platform.hypervisor Platform.Arm_m400 Platform.Xen));
+    ( "KVM ARM (VHE)",
+      W.Guest_ops.measure (Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm) );
+    ("KVM x86", W.Guest_ops.measure (Platform.hypervisor Platform.X86_r320 Platform.Kvm));
+  ]
+
+let multiqueue () =
+  let apache = Option.get (Workload.find "Apache") in
+  List.map
+    (fun (name, id) ->
+      ( name,
+        List.map
+          (fun queues ->
+            let hyp = Platform.hypervisor Platform.Arm_m400 id in
+            ( queues,
+              (App_model.run ~irq_distribution:(App_model.Spread queues)
+                 apache hyp)
+                .App_model.normalized ))
+          [ 1; 2; 3; 4 ] ))
+    [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
+
+let tracereplay () =
+  List.map
+    (fun (name, id) ->
+      (name, W.Trace_replay.run (Platform.hypervisor Platform.Arm_m400 id)))
+    [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
+
+type twodwalk_row = {
+  tw_config : string;
+  tw_walk_accesses : int;
+  tw_walk_cycles : int;
+  tw_overhead_pct_at_1_miss_per_1k : float;
+}
+
+let twodwalk () =
+  let module Stage1 = Armvirt_mem.Stage1 in
+  let module Stage2 = Armvirt_mem.Stage2 in
+  let module Addr = Armvirt_mem.Addr in
+  let dram_access = 180 (* cycles per walker memory access, L2-missing *) in
+  (* Build a small guest address space and back everything in stage-2. *)
+  let stage1 = Stage1.create ~table_base_ipa_page:0x9000 in
+  Stage1.map stage1 ~va_page:0x12345 ~ipa_page:0x400;
+  let stage2 = Stage2.create () in
+  List.iter
+    (fun ipa_page -> Stage2.map stage2 ~ipa_page ~pa_page:(0x80000 + ipa_page)
+        Stage2.Read_write)
+    (0x400 :: Stage1.table_pages stage1);
+  let _, accesses =
+    Stage1.walk_2d stage1 stage2 (Addr.va (0x12345 * Addr.page_size))
+  in
+  let row tw_config tw_walk_accesses =
+    let tw_walk_cycles = tw_walk_accesses * dram_access in
+    {
+      tw_config;
+      tw_walk_accesses;
+      tw_walk_cycles;
+      (* One miss per 10,000 instructions at IPC 1 — a typical data-TLB
+         miss rate for server workloads. *)
+      tw_overhead_pct_at_1_miss_per_1k =
+        float_of_int tw_walk_cycles /. 10_000.0 *. 100.0;
+    }
+  in
+  [
+    row "Native (stage-1 only)" Stage1.native_walk_accesses;
+    row "Any hypervisor (2D walk)" accesses;
+    row "VHE (unchanged: hardware cost)" accesses;
+  ]
+
+let x86_machine_with hw =
+  let sim = Armvirt_engine.Sim.create () in
+  Armvirt_arch.Machine.create sim ~cost:(Armvirt_arch.Cost_model.X86 hw)
+    ~num_cpus:8
+
+let x86_vapic_hw =
+  { Armvirt_arch.Cost_model.x86_default with Armvirt_arch.Cost_model.vapic = true }
+
+let vapic () =
+  List.map
+    (fun (label, hyp) -> (label, micro_rows ~iterations:2 hyp))
+    [
+      ( "KVM x86 (E5-2450, no vAPIC)",
+        Platform.hypervisor Platform.X86_r320 Platform.Kvm );
+      ( "KVM x86 + vAPIC",
+        H.Kvm_x86.to_hypervisor
+          (H.Kvm_x86.create (x86_machine_with x86_vapic_hw)) );
+      ( "Xen x86 (E5-2450, no vAPIC)",
+        Platform.hypervisor Platform.X86_r320 Platform.Xen );
+      ( "Xen x86 + vAPIC",
+        H.Xen_x86.to_hypervisor
+          (H.Xen_x86.create (x86_machine_with x86_vapic_hw)) );
+    ]
+
+let vapic_apps () =
+  let normalized hyp name =
+    (App_model.run (Option.get (Workload.find name)) hyp).App_model.normalized
+  in
+  let stock () = Platform.hypervisor Platform.X86_r320 Platform.Kvm in
+  let vapic () =
+    H.Kvm_x86.to_hypervisor (H.Kvm_x86.create (x86_machine_with x86_vapic_hw))
+  in
+  List.map
+    (fun name -> (name, normalized (stock ()) name, normalized (vapic ()) name))
+    [ "Apache"; "Memcached"; "MySQL" ]
+
+let crosscall () =
+  List.map
+    (fun hyp -> W.Crosscall.run hyp)
+    [
+      Platform.native Platform.Arm_m400;
+      Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
+      Platform.hypervisor Platform.Arm_m400 Platform.Xen;
+      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm;
+      Platform.hypervisor Platform.X86_r320 Platform.Kvm;
+      Platform.hypervisor Platform.X86_r320 Platform.Xen;
+    ]
+
+let lazyswitch () =
+  let kvm_with tuning =
+    H.Kvm_arm.to_hypervisor
+      (H.Kvm_arm.create ~tuning (Platform.machine Platform.Arm_m400))
+  in
+  let stock = H.Kvm_arm.default_tuning in
+  List.map
+    (fun (label, hyp) -> (label, micro_rows ~iterations:2 hyp))
+    [
+      ("stock (paper's KVM)", kvm_with stock);
+      ("lazy FP", kvm_with { stock with H.Kvm_arm.lazy_fp = true });
+      ("lazy VGIC", kvm_with { stock with H.Kvm_arm.lazy_vgic = true });
+      ( "lazy FP + VGIC",
+        kvm_with { stock with H.Kvm_arm.lazy_fp = true; lazy_vgic = true } );
+      ("VHE (for reference)", Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm);
+    ]
+
+type consolidation_row = {
+  cons_config : string;
+  cons_vms : int;
+  cons_per_vm_ops : float;
+  cons_aggregate_ops : float;
+  cons_bottleneck : string;
+}
+
+(* N memcached VMs per host. Each VM's own ceiling comes from the Fig. 4
+   model (VCPU0-bound); the host-side ceiling is the backend: KVM runs
+   one vhost thread per VM (scales to the host's 4 service cores), Xen
+   funnels all VMs through the single-threaded netback in Dom0. *)
+let consolidation () =
+  let w = Workload.memcached in
+  let per_unit_ops = 10_000.0 in
+  let host_cores = 4.0 in
+  let arm_hz = 2.4e9 in
+  let row name id vms =
+    let hyp = Platform.hypervisor Platform.Arm_m400 id in
+    let p = hyp.Armvirt_hypervisor.Hypervisor.io_profile in
+    let verdict = App_model.run w hyp in
+    (* One VM's achievable rate (units/s), from the Figure 4 model. *)
+    let native_units = arm_hz /. (w.Workload.total_cycles /. 4.0) in
+    let per_vm_units = native_units /. verdict.App_model.normalized in
+    (* Host backend demand per unit of work. *)
+    let backend_per_unit =
+      (w.Workload.packets_rx
+      *. float_of_int
+           (Armvirt_hypervisor.Io_profile.total_rx_packet_cost p ~bytes:150))
+      +. (w.Workload.packets_tx
+         *. float_of_int
+              (Armvirt_hypervisor.Io_profile.total_tx_packet_cost p ~bytes:150))
+    in
+    let backend_threads =
+      if p.Armvirt_hypervisor.Io_profile.zero_copy then
+        Float.min (float_of_int vms) host_cores (* one vhost per VM *)
+      else 1.0 (* netback: single thread per bridge *)
+    in
+    let backend_units_ceiling =
+      if backend_per_unit = 0.0 then infinity
+      else arm_hz *. backend_threads /. backend_per_unit
+    in
+    (* The N VMs share the 4 guest PCPUs: aggregate compute is bounded
+       by the pool divided by each unit's total demand (native work plus
+       the guest-side virtualization surcharge). *)
+    let compute_units_ceiling =
+      host_cores *. arm_hz
+      /. (w.Workload.total_cycles +. verdict.App_model.added_cycles)
+    in
+    let demanded = float_of_int vms *. per_vm_units in
+    let aggregate_units =
+      Float.min demanded (Float.min backend_units_ceiling compute_units_ceiling)
+    in
+    {
+      cons_config = name;
+      cons_vms = vms;
+      cons_per_vm_ops =
+        aggregate_units /. float_of_int vms *. per_unit_ops /. 1e3;
+      cons_aggregate_ops = aggregate_units *. per_unit_ops /. 1e3;
+      cons_bottleneck =
+        (if aggregate_units >= demanded then
+           verdict.App_model.bottleneck ^ " (per VM)"
+         else if backend_units_ceiling < compute_units_ceiling then
+           "host backend (netback)"
+         else "guest CPU pool");
+    }
+  in
+  List.concat_map
+    (fun vms ->
+      [ row "KVM ARM" Platform.Kvm vms; row "Xen ARM" Platform.Xen vms ])
+    [ 1; 2; 4; 8 ]
+
+type structural_row = {
+  st_config : string;
+  st_metric : string;
+  st_structural : float;
+  st_analytic : float;
+  st_agreement_pct : float;
+}
+
+let structural () =
+  let row st_config st_metric st_structural st_analytic =
+    {
+      st_config;
+      st_metric;
+      st_structural;
+      st_analytic;
+      st_agreement_pct = st_structural /. st_analytic *. 100.0;
+    }
+  in
+  let rr name hyp_s hyp_a =
+    let s = Armvirt_system.Rr_system.run ~transactions:80 hyp_s in
+    let a = Netperf.run_tcp_rr ~transactions:80 hyp_a in
+    row name "TCP_RR us/trans" s.Armvirt_system.Rr_system.time_per_trans_us
+      a.Netperf.time_per_trans_us
+  in
+  let stream name hyp_s hyp_a =
+    let s = Armvirt_system.Stream_system.run ~frames:2000 hyp_s in
+    let a = Netperf.tcp_stream hyp_a in
+    row name "TCP_STREAM Gb/s" s.Armvirt_system.Stream_system.gbps
+      a.Netperf.gbps
+  in
+  let hackbench name id =
+    let s =
+      Armvirt_system.Hackbench_system.run
+        (Platform.hypervisor Platform.Arm_m400 id)
+    in
+    let a =
+      (App_model.run
+         (Option.get (Workload.find "Hackbench"))
+         (Platform.hypervisor Platform.Arm_m400 id))
+        .App_model.normalized
+    in
+    row name "Hackbench normalized"
+      s.Armvirt_system.Hackbench_system.normalized a
+  in
+  [
+    rr "Native" (Platform.native Platform.Arm_m400)
+      (Platform.native Platform.Arm_m400);
+    rr "KVM ARM"
+      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm)
+      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+    rr "Xen ARM"
+      (Platform.hypervisor Platform.Arm_m400 Platform.Xen)
+      (Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+    stream "KVM ARM"
+      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm)
+      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+    stream "Xen ARM"
+      (Platform.hypervisor Platform.Arm_m400 Platform.Xen)
+      (Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+    hackbench "KVM ARM" Platform.Kvm;
+    hackbench "Xen ARM" Platform.Xen;
+  ]
+
+let lrs () =
+  List.map
+    (fun (name, hyp) ->
+      (name, W.Lr_sensitivity.sweep hyp ~lrs:[ 1; 2; 4; 8; 16 ] ~burst_size:12
+         ~bursts:1000))
+    (arm_hypervisors ())

@@ -1,0 +1,18 @@
+(** Markdown rendering of live experiment results.
+
+    [EXPERIMENTS.md] in this repository is a snapshot; this module
+    regenerates the same document from a fresh run, so a fork that
+    changes a cost model can rebuild its results page in one command
+    ([armvirt report]). Tables carry the paper's published values next
+    to the measured ones, exactly like {!Report}'s terminal output. *)
+
+val table2 : unit -> string
+val table3 : unit -> string
+val table5 : unit -> string
+val fig4 : unit -> string
+val vhe : unit -> string
+
+val full_report : unit -> string
+(** The paper's four artifacts plus the VHE prediction, with headers and
+    a generation preamble — ready to write to a file. Runs every
+    underlying experiment (a few seconds). *)

@@ -1,0 +1,1 @@
+lib/engine/cycles.ml: Buffer Float Format Int List Stdlib String

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Cycles Effect Heap List Printf Queue String

@@ -1,0 +1,67 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let data' = Array.make cap' h.data.(0) in
+  Array.blit h.data 0 data' 0 h.size;
+  h.data <- data'
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time ~seq value =
+  let entry = { time; seq; value } in
+  if h.size = Array.length h.data then begin
+    if h.size = 0 then h.data <- Array.make 16 entry else grow h
+  end;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let top = h.data.(0) in
+    Some (top.time, top.seq, top.value)
+
+let size h = h.size
+let is_empty h = h.size = 0

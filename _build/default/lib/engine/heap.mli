@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by [(time, sequence)] pairs.
+
+    The secondary sequence key makes event ordering deterministic: two
+    events scheduled for the same cycle pop in scheduling order, so every
+    simulation run is exactly reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Removes and returns the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (int * int * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

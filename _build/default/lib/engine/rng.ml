@@ -1,0 +1,33 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+
+let split t =
+  let seed = Random.State.bits t in
+  Random.State.make [| seed; Random.State.bits t |]
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Random.State.int t bound
+
+let float t ~bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: non-positive mean";
+  let u = 1.0 -. Random.State.float t 1.0 (* in (0, 1] *) in
+  -.mean *. log u
+
+let pareto t ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then
+    invalid_arg "Rng.pareto: non-positive parameter";
+  let u = 1.0 -. Random.State.float t 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

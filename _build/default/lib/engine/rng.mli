@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random streams for workload generation.
+
+    The simulator itself is variance-free; randomness enters only where
+    a workload model wants stochastic arrivals (e.g. the open-loop
+    tail-latency experiments). Streams are explicitly seeded and
+    splittable, so experiments stay exactly reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from (and advancing) the parent. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> bound:float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for Poisson inter-arrival times. Raises
+    [Invalid_argument] if [mean <= 0]. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Heavy-tailed sizes (flow lengths, think times). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

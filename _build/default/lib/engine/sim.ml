@@ -1,0 +1,202 @@
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  events : (unit -> unit) Heap.t;
+  mutable blocked : (int * string) list;
+      (* processes parked in [suspend]: (id, name), for deadlock reports *)
+  mutable next_pid : int;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Delay : int -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Now : int Effect.t
+  | Spawn : (string option * (unit -> unit)) -> unit Effect.t
+
+let create () =
+  { now = 0; seq = 0; events = Heap.create (); blocked = []; next_pid = 0 }
+
+let now t = Cycles.of_int t.now
+
+let schedule t ~at action =
+  assert (at >= t.now);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.events ~time:at ~seq action
+
+(* Each process runs under one deep handler. Delay re-queues the
+   continuation; Suspend parks it behind a user-controlled wake function
+   with a once-only guard so a double wake is an immediate error rather
+   than silent corruption. *)
+let rec start t name f =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let pname =
+    match name with Some n -> n | None -> Printf.sprintf "process-%d" pid
+  in
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay c ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  schedule t ~at:(t.now + c) (fun () -> continue k ()))
+          | Now -> Some (fun k -> continue k t.now)
+          | Spawn (name', g) ->
+              Some
+                (fun k ->
+                  schedule t ~at:t.now (fun () -> start t name' g);
+                  continue k ())
+          | Suspend register ->
+              Some
+                (fun k ->
+                  t.blocked <- (pid, pname) :: t.blocked;
+                  let woken = ref false in
+                  let wake v =
+                    if !woken then
+                      invalid_arg
+                        (Printf.sprintf "Sim: process %s woken twice" pname);
+                    woken := true;
+                    t.blocked <-
+                      List.filter (fun (id, _) -> id <> pid) t.blocked;
+                    schedule t ~at:t.now (fun () -> continue k v)
+                  in
+                  register wake)
+          | _ -> None);
+    }
+
+let spawn t ?name f = schedule t ~at:t.now (fun () -> start t name f)
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some (time, _seq, action) ->
+      t.now <- time;
+      action ();
+      true
+
+let run t =
+  while step t do
+    ()
+  done;
+  match t.blocked with
+  | [] -> ()
+  | stuck ->
+      let names = List.map snd stuck |> String.concat ", " in
+      raise (Deadlock names)
+
+let run_until t limit =
+  let limit = Cycles.to_int limit in
+  let continue_running = ref true in
+  while !continue_running do
+    match Heap.peek t.events with
+    | Some (time, _, _) when time <= limit -> ignore (step t)
+    | Some _ | None -> continue_running := false
+  done
+
+let delay c =
+  let c = Cycles.to_int c in
+  try Effect.perform (Delay c)
+  with Effect.Unhandled _ ->
+    invalid_arg "Sim.delay called outside a simulation process"
+
+let yield () =
+  try Effect.perform (Delay 0)
+  with Effect.Unhandled _ ->
+    invalid_arg "Sim.yield called outside a simulation process"
+
+let current_time () =
+  try Cycles.of_int (Effect.perform Now)
+  with Effect.Unhandled _ ->
+    invalid_arg "Sim.current_time called outside a simulation process"
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ ->
+    invalid_arg "Sim.suspend called outside a simulation process"
+
+let spawn_here ?name f =
+  try Effect.perform (Spawn (name, f))
+  with Effect.Unhandled _ ->
+    invalid_arg "Sim.spawn_here called outside a simulation process"
+
+type sim_handle = t
+
+module Signal = struct
+  type t = { mutable waiters : (unit -> unit) list }
+
+  let create (_ : sim_handle) = { waiters = [] }
+
+  let wait s =
+    suspend (fun wake -> s.waiters <- wake :: s.waiters)
+
+  let notify s =
+    let ws = List.rev s.waiters in
+    s.waiters <- [];
+    List.iter (fun wake -> wake ()) ws
+
+  let waiters s = List.length s.waiters
+end
+
+module Mailbox = struct
+  type 'a t = {
+    queue : 'a Queue.t;
+    mutable takers : ('a -> unit) list; (* FIFO: append on park *)
+  }
+
+  let create (_ : sim_handle) = { queue = Queue.create (); takers = [] }
+
+  let send mb v =
+    match mb.takers with
+    | wake :: rest ->
+        mb.takers <- rest;
+        wake v
+    | [] -> Queue.push v mb.queue
+
+  let recv mb =
+    if Queue.is_empty mb.queue then
+      suspend (fun wake -> mb.takers <- mb.takers @ [ wake ])
+    else Queue.pop mb.queue
+
+  let try_recv mb = Queue.take_opt mb.queue
+  let length mb = Queue.length mb.queue
+end
+
+module Resource = struct
+  type t = {
+    mutable available : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create (_ : sim_handle) ~capacity =
+    if capacity < 1 then invalid_arg "Sim.Resource.create: capacity < 1";
+    { available = capacity; waiters = [] }
+
+  let acquire r =
+    if r.available > 0 then r.available <- r.available - 1
+    else suspend (fun wake -> r.waiters <- r.waiters @ [ wake ])
+
+  let release r =
+    match r.waiters with
+    | wake :: rest ->
+        r.waiters <- rest;
+        wake ()
+    | [] -> r.available <- r.available + 1
+
+  let available r = r.available
+
+  let use r c =
+    acquire r;
+    (try delay c
+     with e ->
+       release r;
+       raise e);
+    release r
+end

@@ -1,0 +1,115 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated actors are coroutines ("processes") built on OCaml 5 effect
+    handlers. A process advances simulated time by performing {!delay} and
+    cooperates with other processes through the synchronization primitives
+    in {!Signal}, {!Mailbox} and {!Resource}. The engine interleaves all
+    runnable processes in strict [(cycle, scheduling-order)] order, so a
+    given program produces bit-identical results on every run — the
+    property the paper obtains on hardware through pinning, isolation and
+    instruction barriers, we obtain by construction. *)
+
+type t
+(** A simulation world: the global cycle clock and the pending-event
+    queue. *)
+
+exception Deadlock of string
+(** Raised by {!run} when processes remain blocked but no event can ever
+    wake them. The payload names the stuck processes. *)
+
+val create : unit -> t
+
+val now : t -> Cycles.t
+(** Current simulated time. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] registers process [f] to start at the current simulated
+    time. [name] is used in deadlock reports and traces. *)
+
+val run : t -> unit
+(** Runs the simulation until no events remain. Raises {!Deadlock} if
+    blocked processes remain when the event queue drains. *)
+
+val run_until : t -> Cycles.t -> unit
+(** [run_until t limit] runs events with timestamp [<= limit], then stops.
+    Blocked processes are not a deadlock here; they may be waiting for
+    events beyond the horizon. *)
+
+(** {1 Operations available inside a process} *)
+
+val delay : Cycles.t -> unit
+(** [delay c] suspends the calling process for [c] simulated cycles. Must
+    be called from within a process; raises [Invalid_argument] otherwise. *)
+
+val yield : unit -> unit
+(** Re-queues the calling process at the current time, letting any other
+    process scheduled for this cycle run first. *)
+
+val current_time : unit -> Cycles.t
+(** Simulated time as seen by the calling process. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the calling process and hands [register] a
+    wake-up function. Calling the wake-up function (once) resumes the
+    process at the waker's current simulated time with the provided value.
+    This is the single primitive from which all synchronization in
+    {!Signal}, {!Mailbox} and {!Resource} is built. *)
+
+val spawn_here : ?name:string -> (unit -> unit) -> unit
+(** Like {!spawn} but callable from inside a process, targeting the
+    enclosing simulation. *)
+
+(** {1 Synchronization primitives} *)
+
+module Signal : sig
+  (** Broadcast conditions: all current waiters wake on {!notify}. *)
+
+  type sim := t
+  type t
+
+  val create : sim -> t
+  val wait : t -> unit
+  (** Blocks the calling process until the next {!notify}. *)
+
+  val notify : t -> unit
+  (** Wakes every process currently blocked in {!wait}. May be called from
+    inside or outside a process. *)
+
+  val waiters : t -> int
+end
+
+module Mailbox : sig
+  (** Unbounded FIFO channels carrying values between processes. *)
+
+  type sim := t
+  type 'a t
+
+  val create : sim -> 'a t
+
+  val send : 'a t -> 'a -> unit
+  (** Never blocks. If a receiver is parked, it is woken with the value;
+    otherwise the value is queued. *)
+
+  val recv : 'a t -> 'a
+  (** Returns the oldest queued value, blocking if none is available. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+module Resource : sig
+  (** Counting semaphores, used to model exclusive occupancy of simulated
+    hardware (e.g. a physical CPU that can run one context at a time). *)
+
+  type sim := t
+  type t
+
+  val create : sim -> capacity:int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+
+  val use : t -> Cycles.t -> unit
+  (** [use r c] acquires [r], delays [c] cycles, then releases — even if
+    the delayed section raises. *)
+end

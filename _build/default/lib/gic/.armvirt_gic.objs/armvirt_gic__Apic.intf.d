@@ -1,0 +1,1 @@
+lib/gic/apic.mli:

@@ -1,0 +1,1 @@
+lib/gic/distributor.ml: Format Hashtbl Irq List Option

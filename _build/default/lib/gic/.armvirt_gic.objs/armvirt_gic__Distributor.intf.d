@@ -1,0 +1,1 @@
+lib/gic/distributor.mli: Format Irq

@@ -1,0 +1,1 @@
+lib/gic/irq.mli: Format

@@ -1,0 +1,1 @@
+lib/gic/vgic.ml: Irq List Option Queue

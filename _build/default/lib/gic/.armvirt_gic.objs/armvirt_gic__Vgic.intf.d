@@ -1,0 +1,1 @@
+lib/gic/vgic.mli: Irq

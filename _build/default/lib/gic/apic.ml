@@ -1,0 +1,34 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  vapic : bool;
+  mutable irr : Int_set.t;
+  mutable isr : Int_set.t;
+}
+
+let create ?(vapic = false) () =
+  { vapic; irr = Int_set.empty; isr = Int_set.empty }
+
+let vapic t = t.vapic
+let eoi_traps t = not t.vapic
+
+let fire t ~vector =
+  if vector < 32 || vector > 255 then
+    invalid_arg "Apic.fire: vector must be in 32-255";
+  t.irr <- Int_set.add vector t.irr
+
+let acknowledge t =
+  match Int_set.max_elt_opt t.irr with
+  | None -> None
+  | Some vector ->
+      t.irr <- Int_set.remove vector t.irr;
+      t.isr <- Int_set.add vector t.isr;
+      Some vector
+
+let eoi t =
+  match Int_set.max_elt_opt t.isr with
+  | None -> invalid_arg "Apic.eoi: no interrupt in service"
+  | Some vector -> t.isr <- Int_set.remove vector t.isr
+
+let requested t = Int_set.elements t.irr |> List.rev
+let in_service t = Int_set.elements t.isr |> List.rev

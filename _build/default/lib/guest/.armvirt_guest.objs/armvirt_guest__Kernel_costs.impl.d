@@ -1,0 +1,1 @@
+lib/guest/kernel_costs.ml: Stdlib

@@ -1,0 +1,1 @@
+lib/hypervisor/backend_thread.ml: Armvirt_arch Armvirt_engine Io_profile Queue Stdlib

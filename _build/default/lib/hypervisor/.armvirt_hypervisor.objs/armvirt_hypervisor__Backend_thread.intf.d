@@ -1,0 +1,1 @@
+lib/hypervisor/backend_thread.mli: Armvirt_arch Io_profile

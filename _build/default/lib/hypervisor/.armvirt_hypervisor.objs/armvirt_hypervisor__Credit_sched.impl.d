@@ -1,0 +1,1 @@
+lib/hypervisor/credit_sched.ml: Array Hashtbl List Option Stdlib

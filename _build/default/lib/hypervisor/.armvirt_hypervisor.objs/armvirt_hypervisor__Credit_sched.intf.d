@@ -1,0 +1,1 @@
+lib/hypervisor/credit_sched.mli:

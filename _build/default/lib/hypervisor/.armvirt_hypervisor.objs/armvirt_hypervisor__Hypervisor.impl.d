@@ -1,0 +1,1 @@
+lib/hypervisor/hypervisor.ml: Armvirt_arch Armvirt_engine Armvirt_guest Io_profile

@@ -1,0 +1,1 @@
+lib/hypervisor/hypervisor.mli: Armvirt_arch Armvirt_engine Armvirt_guest Io_profile

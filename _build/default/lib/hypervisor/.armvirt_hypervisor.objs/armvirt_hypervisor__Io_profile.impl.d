@@ -1,0 +1,1 @@
+lib/hypervisor/io_profile.ml: Float Format

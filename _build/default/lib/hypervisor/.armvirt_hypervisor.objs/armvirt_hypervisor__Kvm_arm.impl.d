@@ -1,0 +1,1 @@
+lib/hypervisor/kvm_arm.ml: Armvirt_arch Armvirt_engine Armvirt_gic Armvirt_guest Array Hypervisor Io_profile List Vm

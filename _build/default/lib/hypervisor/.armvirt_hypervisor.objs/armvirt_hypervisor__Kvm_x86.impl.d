@@ -1,0 +1,1 @@
+lib/hypervisor/kvm_x86.ml: Armvirt_arch Armvirt_engine Armvirt_gic Armvirt_guest Array Hypervisor Io_profile Vm

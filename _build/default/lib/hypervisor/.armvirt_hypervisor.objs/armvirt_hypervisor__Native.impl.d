@@ -1,0 +1,1 @@
+lib/hypervisor/native.ml: Armvirt_arch Armvirt_engine Armvirt_guest Hypervisor Io_profile

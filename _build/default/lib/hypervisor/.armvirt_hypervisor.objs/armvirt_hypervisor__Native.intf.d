@@ -1,0 +1,1 @@
+lib/hypervisor/native.mli: Armvirt_arch Hypervisor

@@ -1,0 +1,1 @@
+lib/hypervisor/vm.ml: Armvirt_gic Armvirt_mem Array Format Int List Printf String

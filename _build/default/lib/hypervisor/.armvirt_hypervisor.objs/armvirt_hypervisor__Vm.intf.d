@@ -1,0 +1,1 @@
+lib/hypervisor/vm.mli: Armvirt_gic Armvirt_mem Format

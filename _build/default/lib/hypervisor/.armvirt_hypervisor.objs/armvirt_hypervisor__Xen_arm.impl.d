@@ -1,0 +1,1 @@
+lib/hypervisor/xen_arm.ml: Armvirt_arch Armvirt_engine Armvirt_gic Armvirt_guest Armvirt_io Array Hypervisor Io_profile Vm

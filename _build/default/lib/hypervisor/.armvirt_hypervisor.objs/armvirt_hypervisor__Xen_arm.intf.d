@@ -1,0 +1,1 @@
+lib/hypervisor/xen_arm.mli: Armvirt_arch Armvirt_engine Armvirt_gic Hypervisor Io_profile Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/xen_x86.ml: Armvirt_arch Armvirt_engine Armvirt_guest Armvirt_io Array Float Hypervisor Io_profile Vm

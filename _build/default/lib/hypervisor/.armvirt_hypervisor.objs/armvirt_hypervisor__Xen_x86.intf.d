@@ -1,0 +1,1 @@
+lib/hypervisor/xen_x86.mli: Armvirt_arch Armvirt_engine Hypervisor Io_profile Vm

@@ -1,0 +1,180 @@
+type vcpu = { dom : int; index : int }
+
+type vstate = {
+  affinity : int;
+  mutable credit : int;
+  mutable runnable : bool;
+  mutable boosted : bool;
+  mutable enqueued_at : int; (* FIFO tie-break among equal credits *)
+}
+
+type t = {
+  num_pcpus : int;
+  timeslice : int;
+  initial_credit : int;
+  vcpus : (vcpu, vstate) Hashtbl.t;
+  running : vcpu option array;
+  mutable stamp : int;
+  mutable switch_count : int;
+  mutable refill_count : int;
+}
+
+let create ~num_pcpus ~timeslice_cycles =
+  if num_pcpus < 1 then invalid_arg "Credit_sched.create: num_pcpus < 1";
+  if timeslice_cycles < 1 then
+    invalid_arg "Credit_sched.create: non-positive timeslice";
+  {
+    num_pcpus;
+    timeslice = timeslice_cycles;
+    initial_credit = 10 * timeslice_cycles;
+    vcpus = Hashtbl.create 16;
+    running = Array.make num_pcpus None;
+    stamp = 0;
+    switch_count = 0;
+    refill_count = 0;
+  }
+
+let next_stamp t =
+  t.stamp <- t.stamp + 1;
+  t.stamp
+
+let add_vcpu t vcpu ~affinity =
+  if affinity < 0 || affinity >= t.num_pcpus then
+    invalid_arg "Credit_sched.add_vcpu: affinity out of range";
+  if Hashtbl.mem t.vcpus vcpu then
+    invalid_arg "Credit_sched.add_vcpu: duplicate VCPU";
+  Hashtbl.replace t.vcpus vcpu
+    {
+      affinity;
+      credit = t.initial_credit;
+      runnable = false;
+      boosted = false;
+      enqueued_at = next_stamp t;
+    }
+
+let state t vcpu =
+  match Hashtbl.find_opt t.vcpus vcpu with
+  | Some s -> s
+  | None -> invalid_arg "Credit_sched: unknown VCPU"
+
+let set_runnable t vcpu runnable =
+  let s = state t vcpu in
+  if runnable && not s.runnable then begin
+    (* Wake-up boost: jumps the queue once, like Xen's BOOST. *)
+    s.boosted <- true;
+    s.enqueued_at <- next_stamp t
+  end;
+  s.runnable <- runnable
+
+let candidates t ~pcpu =
+  Hashtbl.fold
+    (fun vcpu s acc ->
+      if s.runnable && s.affinity = pcpu then (vcpu, s) :: acc else acc)
+    t.vcpus []
+
+let better (_, a) (_, b) =
+  (* Boosted first; then most credit; FIFO among equals. *)
+  match (a.boosted, b.boosted) with
+  | true, false -> true
+  | false, true -> false
+  | _ ->
+      a.credit > b.credit
+      || (a.credit = b.credit && a.enqueued_at < b.enqueued_at)
+
+let pick t ~pcpu =
+  if pcpu < 0 || pcpu >= t.num_pcpus then
+    invalid_arg "Credit_sched.pick: pcpu out of range";
+  let chosen =
+    List.fold_left
+      (fun best c ->
+        match best with
+        | None -> Some c
+        | Some b -> if better c b then Some c else best)
+      None (candidates t ~pcpu)
+  in
+  let next = Option.map fst chosen in
+  (match chosen with Some (_, s) -> s.boosted <- false | None -> ());
+  if next <> t.running.(pcpu) then begin
+    t.switch_count <- t.switch_count + 1;
+    t.running.(pcpu) <- next
+  end;
+  next
+
+(* Refill until some runnable VCPU is back in credit (a deeply indebted
+   VCPU — e.g. one that overran a long timeslice — may need several
+   grants, as in Xen's periodic accounting). *)
+let rec refill_if_exhausted t =
+  let runnable_with_credit = ref false and any_runnable = ref false in
+  Hashtbl.iter
+    (fun _ s ->
+      if s.runnable then begin
+        any_runnable := true;
+        if s.credit > 0 then runnable_with_credit := true
+      end)
+    t.vcpus;
+  if !any_runnable && not !runnable_with_credit then begin
+    t.refill_count <- t.refill_count + 1;
+    Hashtbl.iter
+      (fun _ s -> s.credit <- s.credit + t.initial_credit)
+      t.vcpus;
+    refill_if_exhausted t
+  end
+
+let charge t ~pcpu ~cycles =
+  if cycles < 0 then invalid_arg "Credit_sched.charge: negative cycles";
+  (match t.running.(pcpu) with
+  | Some vcpu ->
+      let s = state t vcpu in
+      s.credit <- s.credit - cycles;
+      s.enqueued_at <- next_stamp t (* requeue at the back *)
+  | None -> ());
+  refill_if_exhausted t
+
+let current t ~pcpu = t.running.(pcpu)
+let credit_of t vcpu = (state t vcpu).credit
+let switches t = t.switch_count
+let refills t = t.refill_count
+
+let run_to_completion t ~work ~switch_cost =
+  if switch_cost < 0 then
+    invalid_arg "Credit_sched.run_to_completion: negative switch cost";
+  let remaining = Hashtbl.create 16 in
+  List.iter
+    (fun (vcpu, cycles) ->
+      ignore (state t vcpu);
+      if cycles < 0 then
+        invalid_arg "Credit_sched.run_to_completion: negative work";
+      Hashtbl.replace remaining vcpu
+        (Option.value ~default:0 (Hashtbl.find_opt remaining vcpu) + cycles);
+      set_runnable t vcpu true)
+    work;
+  let pcpu_time = Array.make t.num_pcpus 0 in
+  let switches_before = t.switch_count in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for pcpu = 0 to t.num_pcpus - 1 do
+      match pick t ~pcpu with
+      | None -> ()
+      | Some vcpu ->
+          progress := true;
+          let left = Hashtbl.find remaining vcpu in
+          let slice = Stdlib.min left t.timeslice in
+          let was_current = current t ~pcpu = Some vcpu in
+          ignore was_current;
+          pcpu_time.(pcpu) <- pcpu_time.(pcpu) + slice;
+          charge t ~pcpu ~cycles:slice;
+          let left' = left - slice in
+          if left' <= 0 then begin
+            Hashtbl.replace remaining vcpu 0;
+            set_runnable t vcpu false
+          end
+          else Hashtbl.replace remaining vcpu left'
+    done
+  done;
+  let total_switches = t.switch_count - switches_before in
+  let makespan =
+    Array.fold_left Stdlib.max 0 pcpu_time
+    + (total_switches * switch_cost / Stdlib.max 1 t.num_pcpus)
+  in
+  (makespan, total_switches)

@@ -1,0 +1,56 @@
+(** A credit-style proportional-share VCPU scheduler, modelled on Xen's
+    credit scheduler (also a reasonable stand-in for CFS with QEMU
+    processes).
+
+    The paper's VM Switch microbenchmark measures "a central cost when
+    oversubscribing physical CPUs"; this module supplies the scheduling
+    substrate that turns that per-switch cost into an application-level
+    overhead (see {!Armvirt_workloads.Oversub}). The model keeps the
+    essentials: per-VCPU credits burned while running, wake-up boosting,
+    affinity, round-robin among equal-credit VCPUs, and a global refill
+    when the runnable set exhausts its credits. *)
+
+type vcpu = { dom : int; index : int }
+
+type t
+
+val create : num_pcpus:int -> timeslice_cycles:int -> t
+(** [timeslice_cycles] is the credit charge that forces a preemption
+    check (Xen defaults to 30 ms; experiments use shorter slices).
+    Raises [Invalid_argument] on non-positive arguments. *)
+
+val add_vcpu : t -> vcpu -> affinity:int -> unit
+(** Registers a VCPU pinned to one PCPU (the paper's configuration).
+    Raises [Invalid_argument] for an out-of-range PCPU or duplicate
+    VCPU. *)
+
+val set_runnable : t -> vcpu -> bool -> unit
+(** Blocking/waking. Waking boosts the VCPU to the front of its
+    runqueue (Xen's BOOST priority), letting I/O-blocked VCPUs preempt
+    CPU hogs — the behaviour that keeps latency-sensitive VMs alive
+    under oversubscription. *)
+
+val pick : t -> pcpu:int -> vcpu option
+(** Schedules the next VCPU on a PCPU: the runnable VCPU with the most
+    credit (FIFO among ties), or [None] to run the idle context.
+    Recorded as a context switch when it differs from the incumbent. *)
+
+val charge : t -> pcpu:int -> cycles:int -> unit
+(** Burns credit on the currently running VCPU. When every runnable
+    VCPU in the system is out of credit, credits refill. *)
+
+val current : t -> pcpu:int -> vcpu option
+val credit_of : t -> vcpu -> int
+val switches : t -> int
+(** Context switches performed so far (idle transitions included). *)
+
+val refills : t -> int
+
+val run_to_completion :
+  t -> work:(vcpu * int) list -> switch_cost:int -> int * int
+(** [run_to_completion t ~work ~switch_cost] simulates the pinned
+    system until every VCPU finishes its assigned cycles of CPU-bound
+    work, charging [switch_cost] per context switch. Returns
+    [(makespan_cycles, total_switches)], where the makespan is the
+    busiest PCPU's total including switching overhead. Raises
+    [Invalid_argument] if a listed VCPU was never added. *)

@@ -1,0 +1,34 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+
+type kind = Type1 | Type2
+type arch = Arm | X86
+
+type t = {
+  name : string;
+  kind : kind;
+  arch : arch;
+  machine : Machine.t;
+  barrier_cost : Cycles.t;
+  hypercall : unit -> unit;
+  interrupt_controller_trap : unit -> unit;
+  virtual_irq_completion : unit -> unit;
+  vm_switch : unit -> unit;
+  virtual_ipi : unit -> Cycles.t;
+  io_latency_out : unit -> Cycles.t;
+  io_latency_in : unit -> Cycles.t;
+  io_profile : Io_profile.t;
+  guest : Armvirt_guest.Kernel_costs.t;
+}
+
+let kind_to_string = function Type1 -> "Type 1" | Type2 -> "Type 2"
+let arch_to_string = function Arm -> "ARM" | X86 -> "x86"
+
+let remote_completion machine ~name ~wire path =
+  let finished = Sim.Signal.create (Machine.sim machine) in
+  Sim.spawn_here ~name (fun () ->
+      Sim.delay wire;
+      path ();
+      Sim.Signal.notify finished);
+  Sim.Signal.wait finished

@@ -1,0 +1,59 @@
+(** The uniform face of a hypervisor under measurement.
+
+    Each concrete model ({!Kvm_arm}, {!Xen_arm}, {!Kvm_x86}, {!Xen_x86},
+    {!Native}) builds this record; the microbenchmark suite and the
+    application workload models drive it without knowing which design is
+    underneath — exactly how the paper's custom kernel driver "executed
+    the microbenchmarks in the same way across all platforms"
+    (section IV).
+
+    The synchronous operations ([hypercall], [interrupt_controller_trap],
+    [virtual_irq_completion], [vm_switch]) run entirely on the calling
+    simulated CPU: callers time them with
+    {!Armvirt_stats.Cycle_counter.measure}. The asynchronous ones
+    ([virtual_ipi], [io_latency_out], [io_latency_in]) span PCPUs and
+    return the measured latency themselves, as the paper does with
+    synchronized counters. All must be invoked inside a simulation
+    process. *)
+
+type kind = Type1 | Type2
+type arch = Arm | X86
+
+type t = {
+  name : string;
+  kind : kind;
+  arch : arch;
+  machine : Armvirt_arch.Machine.t;
+  barrier_cost : Armvirt_engine.Cycles.t;
+  hypercall : unit -> unit;
+      (** No-op hypercall round trip: VM → hypervisor → VM. *)
+  interrupt_controller_trap : unit -> unit;
+      (** Trapped access to an emulated interrupt-controller register. *)
+  virtual_irq_completion : unit -> unit;
+      (** Guest acknowledges + completes a pending virtual interrupt. *)
+  vm_switch : unit -> unit;
+      (** Switch between two VMs on the same physical core. *)
+  virtual_ipi : unit -> Armvirt_engine.Cycles.t;
+      (** VCPU-to-VCPU IPI across PCPUs; returns send→handle latency. *)
+  io_latency_out : unit -> Armvirt_engine.Cycles.t;
+      (** Guest kick → virtual device backend notified. *)
+  io_latency_in : unit -> Armvirt_engine.Cycles.t;
+      (** Backend signal → guest interrupt handler. *)
+  io_profile : Io_profile.t;
+  guest : Armvirt_guest.Kernel_costs.t;
+}
+
+val kind_to_string : kind -> string
+val arch_to_string : arch -> string
+
+val remote_completion :
+  Armvirt_arch.Machine.t ->
+  name:string ->
+  wire:Armvirt_engine.Cycles.t ->
+  (unit -> unit) ->
+  unit
+(** [remote_completion m ~name ~wire path] models work continuing on a
+    different PCPU: after [wire] cycles of propagation, [path] runs in a
+    fresh process; the caller blocks until it finishes. Because the
+    caller is parked the whole time, the caller's clock on return equals
+    start + wire + cost of [path] — the cross-CPU latency. *)

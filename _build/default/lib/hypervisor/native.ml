@@ -1,0 +1,38 @@
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+module Cost_model = Armvirt_arch.Cost_model
+
+type t = { machine : Machine.t }
+
+let create machine = { machine }
+let machine t = t.machine
+
+let to_hypervisor t =
+  let barrier =
+    match Machine.cost t.machine with
+    | Cost_model.Arm hw -> hw.Cost_model.timestamp_barrier
+    | Cost_model.X86 hw -> hw.Cost_model.timestamp_barrier
+  in
+  let arch =
+    match Machine.cost t.machine with
+    | Cost_model.Arm _ -> Hypervisor.Arm
+    | Cost_model.X86 _ -> Hypervisor.X86
+  in
+  let nothing () = () in
+  let no_latency () = Cycles.zero in
+  {
+    Hypervisor.name = "Native";
+    kind = Hypervisor.Type1 (* unused; there is no hypervisor *);
+    arch;
+    machine = t.machine;
+    barrier_cost = Cycles.of_int barrier;
+    hypercall = nothing;
+    interrupt_controller_trap = nothing;
+    virtual_irq_completion = nothing;
+    vm_switch = nothing;
+    virtual_ipi = no_latency;
+    io_latency_out = no_latency;
+    io_latency_in = no_latency;
+    io_profile = Io_profile.native;
+    guest = Armvirt_guest.Kernel_costs.defaults;
+  }

@@ -1,0 +1,1 @@
+lib/io/blk_device.ml: Float

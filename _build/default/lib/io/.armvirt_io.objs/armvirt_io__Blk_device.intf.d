@@ -1,0 +1,1 @@
+lib/io/blk_device.mli:

@@ -1,0 +1,1 @@
+lib/io/event_channel.mli:

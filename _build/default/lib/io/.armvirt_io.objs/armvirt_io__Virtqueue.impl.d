@@ -1,0 +1,1 @@
+lib/io/virtqueue.ml: Armvirt_mem Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/io/virtqueue.mli: Armvirt_mem

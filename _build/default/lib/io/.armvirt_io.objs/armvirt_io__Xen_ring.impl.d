@@ -1,0 +1,1 @@
+lib/io/xen_ring.ml: Armvirt_mem Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/io/xen_ring.mli: Armvirt_mem

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  read_latency_us : float;
+  write_latency_us : float;
+  read_mb_s : float;
+  write_mb_s : float;
+}
+
+let custom_named name ~read_latency_us ~write_latency_us ~read_mb_s ~write_mb_s
+    =
+  if
+    read_latency_us <= 0.0 || write_latency_us <= 0.0 || read_mb_s <= 0.0
+    || write_mb_s <= 0.0
+  then invalid_arg "Blk_device: non-positive parameter";
+  { name; read_latency_us; write_latency_us; read_mb_s; write_mb_s }
+
+let custom = custom_named "custom"
+
+let ssd_sata3 =
+  custom_named "SATA3 SSD (m400)" ~read_latency_us:80.0 ~write_latency_us:90.0
+    ~read_mb_s:500.0 ~write_mb_s:450.0
+
+let raid5_hd =
+  custom_named "4x500GB 7.2k RAID5 (r320)" ~read_latency_us:8000.0
+    ~write_latency_us:12000.0 ~read_mb_s:300.0 ~write_mb_s:180.0
+
+let service_us t ~bytes ~write =
+  if bytes < 0 then invalid_arg "Blk_device.service_us: negative size";
+  let latency = if write then t.write_latency_us else t.read_latency_us in
+  let rate = if write then t.write_mb_s else t.read_mb_s in
+  latency +. (float_of_int bytes /. (rate *. 1e6) *. 1e6)
+
+let service_cycles t ~freq_ghz ~bytes ~write =
+  int_of_float (Float.round (service_us t ~bytes ~write *. freq_ghz *. 1e3))
+
+let describe t = t.name

@@ -1,0 +1,30 @@
+(** Storage device timing models for the paper's two testbeds
+    (section III): the m400's 120 GB SATA3 SSD and the r320's 4x500 GB
+    7200 RPM RAID5 array. Used by the disk I/O experiments; the
+    hypervisor-path costs around a request come from
+    {!Armvirt_hypervisor.Io_profile}, this module prices only the
+    device itself. *)
+
+type t
+
+val ssd_sata3 : t
+(** ~80 μs read / ~90 μs write access, ~500 MB/s streaming. *)
+
+val raid5_hd : t
+(** ~8 ms seek-bound access, ~300 MB/s streaming (RAID5 write penalty
+    applied to writes). *)
+
+val custom :
+  read_latency_us:float ->
+  write_latency_us:float ->
+  read_mb_s:float ->
+  write_mb_s:float ->
+  t
+(** Raises [Invalid_argument] on non-positive parameters. *)
+
+val service_us : t -> bytes:int -> write:bool -> float
+(** Access latency plus transfer time for one request. *)
+
+val service_cycles : t -> freq_ghz:float -> bytes:int -> write:bool -> int
+
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/mem/grant_table.ml: Format Hashtbl Option

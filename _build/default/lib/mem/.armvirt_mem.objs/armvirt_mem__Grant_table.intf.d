@@ -1,0 +1,1 @@
+lib/mem/grant_table.mli: Format

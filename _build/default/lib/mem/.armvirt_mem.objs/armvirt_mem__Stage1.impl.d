@@ -1,0 +1,1 @@
+lib/mem/stage1.ml: Addr Hashtbl Int List Stage2

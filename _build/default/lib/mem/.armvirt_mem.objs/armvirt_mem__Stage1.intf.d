@@ -1,0 +1,1 @@
+lib/mem/stage1.mli: Addr Stage2

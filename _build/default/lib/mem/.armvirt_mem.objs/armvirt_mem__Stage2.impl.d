@@ -1,0 +1,1 @@
+lib/mem/stage2.ml: Addr Format Hashtbl Int List Option

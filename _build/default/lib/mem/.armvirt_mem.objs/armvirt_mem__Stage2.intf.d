@@ -1,0 +1,1 @@
+lib/mem/stage2.mli: Addr Format

@@ -1,0 +1,52 @@
+type entry = { pa_page : int; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Tlb.create: capacity < 1";
+  { capacity; table = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let lookup t ~ipa_page =
+  match Hashtbl.find_opt t.table ipa_page with
+  | Some entry ->
+      entry.last_use <- tick t;
+      t.hits <- t.hits + 1;
+      Some entry.pa_page
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= entry.last_use -> acc
+        | _ -> Some (key, entry))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) -> Hashtbl.remove t.table key
+  | None -> ()
+
+let insert t ~ipa_page ~pa_page =
+  if not (Hashtbl.mem t.table ipa_page) && Hashtbl.length t.table >= t.capacity
+  then evict_lru t;
+  Hashtbl.replace t.table ipa_page { pa_page; last_use = tick t }
+
+let invalidate_page t ~ipa_page = Hashtbl.remove t.table ipa_page
+let invalidate_all t = Hashtbl.reset t.table
+let entries t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,28 @@
+(** A set-free, LRU-approximate TLB caching stage-2 translations.
+
+    The interesting property for the paper is not hit rate modelling but
+    the *invalidation protocol*: removing a grant mapping requires every
+    CPU's TLB to drop the entry. ARM broadcasts the invalidate in
+    hardware; x86 must interrupt every CPU (see
+    {!Armvirt_arch.X86_ops.tlb_shootdown}). This module supplies the
+    per-CPU state those protocols manipulate. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val lookup : t -> ipa_page:int -> int option
+(** Cached pa_page, updating recency. *)
+
+val insert : t -> ipa_page:int -> pa_page:int -> unit
+(** Evicts the least recently used entry when full. *)
+
+val invalidate_page : t -> ipa_page:int -> unit
+val invalidate_all : t -> unit
+
+val entries : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+(** Lifetime counters over {!lookup}. *)

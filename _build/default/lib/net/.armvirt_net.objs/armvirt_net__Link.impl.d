@@ -1,0 +1,1 @@
+lib/net/link.ml: Armvirt_engine Float Packet

@@ -1,0 +1,1 @@
+lib/net/link.mli: Armvirt_engine Packet

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Armvirt_arch Armvirt_engine Link Packet

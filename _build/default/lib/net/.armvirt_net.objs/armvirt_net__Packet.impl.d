@@ -1,0 +1,1 @@
+lib/net/packet.ml: Armvirt_engine Hashtbl List

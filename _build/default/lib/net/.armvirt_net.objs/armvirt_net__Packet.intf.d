@@ -1,0 +1,1 @@
+lib/net/packet.mli: Armvirt_engine

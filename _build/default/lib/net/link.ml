@@ -1,0 +1,49 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+
+type t = {
+  sim : Sim.t;
+  propagation : Cycles.t;
+  cycles_per_byte : float;
+  mutable wire_free_at : Cycles.t; (* serialization point: FIFO ordering *)
+  mutable in_flight : int;
+  mutable delivered : int;
+}
+
+let create sim ~propagation ~cycles_per_byte =
+  if cycles_per_byte < 0.0 then invalid_arg "Link.create: negative rate";
+  {
+    sim;
+    propagation;
+    cycles_per_byte;
+    wire_free_at = Cycles.zero;
+    in_flight = 0;
+    delivered = 0;
+  }
+
+let ten_gbe sim ~freq_ghz =
+  (* 10 Gb/s = 1.25 GB/s; a CPU cycle covers freq_ghz/1.25 bytes. *)
+  let cycles_per_byte = freq_ghz /. 1.25 in
+  let propagation = Cycles.of_us ~hz:(freq_ghz *. 1e9) 2.0 in
+  create sim ~propagation ~cycles_per_byte
+
+let send t packet ~deliver =
+  let now = Sim.current_time () in
+  let serialization =
+    Cycles.of_int
+      (int_of_float
+         (Float.round (t.cycles_per_byte *. float_of_int (Packet.wire_bytes packet))))
+  in
+  let start = Cycles.max now t.wire_free_at in
+  let done_serializing = Cycles.add start serialization in
+  t.wire_free_at <- done_serializing;
+  let arrival = Cycles.add done_serializing t.propagation in
+  t.in_flight <- t.in_flight + 1;
+  Sim.spawn_here ~name:"link-delivery" (fun () ->
+      Sim.delay (Cycles.sub arrival now);
+      t.in_flight <- t.in_flight - 1;
+      t.delivered <- t.delivered + 1;
+      deliver packet)
+
+let in_flight t = t.in_flight
+let delivered t = t.delivered

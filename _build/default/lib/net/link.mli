@@ -1,0 +1,28 @@
+(** A point-to-point Ethernet link.
+
+    The paper's testbed interconnect: "All servers are connected via
+    10 GbE ... experiments involving networking between two nodes can be
+    considered isolated and unaffected by other traffic" (section III).
+    A link has fixed propagation latency plus a serialization time per
+    byte; deliveries preserve order (it is a wire, not a network). *)
+
+type t
+
+val create :
+  Armvirt_engine.Sim.t ->
+  propagation:Armvirt_engine.Cycles.t ->
+  cycles_per_byte:float ->
+  t
+
+val ten_gbe :
+  Armvirt_engine.Sim.t -> freq_ghz:float -> t
+(** A 10 GbE link as seen from a CPU at [freq_ghz]: ~2 μs one-way
+    propagation (cut-through switch + PHY) and 10 Gb/s serialization. *)
+
+val send : t -> Packet.t -> deliver:(Packet.t -> unit) -> unit
+(** Queues the packet; [deliver] runs in a fresh simulation process after
+    serialization + propagation, in FIFO order with earlier sends. Must
+    run inside a simulation process. *)
+
+val in_flight : t -> int
+val delivered : t -> int

@@ -1,0 +1,30 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+
+let framing_bytes = 66
+
+type t = {
+  id : int;
+  payload : int;
+  stamps : (string, Cycles.t) Hashtbl.t;
+}
+
+let create ?(payload = 1) ~id () =
+  if payload < 0 then invalid_arg "Packet.create: negative payload";
+  { id; payload; stamps = Hashtbl.create 8 }
+
+let id t = t.id
+let payload_bytes t = t.payload
+let wire_bytes t = t.payload + framing_bytes
+let stamp_at t label time = Hashtbl.replace t.stamps label time
+let stamp t label = stamp_at t label (Sim.current_time ())
+let timestamp t label = Hashtbl.find_opt t.stamps label
+
+let interval t a b =
+  match (timestamp t a, timestamp t b) with
+  | Some ta, Some tb when Cycles.compare tb ta >= 0 -> Some (Cycles.sub tb ta)
+  | _ -> None
+
+let stamps t =
+  Hashtbl.fold (fun label time acc -> (label, time) :: acc) t.stamps []
+  |> List.sort (fun (_, a) (_, b) -> Cycles.compare a b)

@@ -1,0 +1,38 @@
+(** Network packets carrying layer-by-layer timestamps.
+
+    Reproduces the paper's Table V methodology: "we analyzed the behavior
+    of TCP_RR in further detail by using tcpdump to capture timestamps on
+    incoming and outgoing packets at the data link layer ... this allowed
+    us to analyze the latency between operations happening in the VM and
+    the host." Every interesting point in the simulated stack calls
+    {!stamp}; the analysis in [Armvirt_core.Trace] differences the
+    stamps. *)
+
+type t
+
+val create : ?payload:int -> id:int -> unit -> t
+(** [payload] is the application bytes (default 1, as in TCP_RR);
+    {!wire_bytes} adds header overhead. Raises [Invalid_argument] on
+    negative payload. *)
+
+val id : t -> int
+val payload_bytes : t -> int
+
+val wire_bytes : t -> int
+(** Payload plus 66 bytes of Ethernet+IP+TCP framing. *)
+
+val stamp : t -> string -> unit
+(** Records the current simulated time under a label. Must run inside a
+    simulation process. Re-stamping a label overwrites (retransmission
+    semantics). *)
+
+val stamp_at : t -> string -> Armvirt_engine.Cycles.t -> unit
+
+val timestamp : t -> string -> Armvirt_engine.Cycles.t option
+
+val interval : t -> string -> string -> Armvirt_engine.Cycles.t option
+(** [interval t a b] is the cycles from stamp [a] to stamp [b], or [None]
+    if either is missing or [b] precedes [a]. *)
+
+val stamps : t -> (string * Armvirt_engine.Cycles.t) list
+(** In chronological order. *)

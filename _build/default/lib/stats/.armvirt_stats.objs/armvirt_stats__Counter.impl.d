@@ -1,0 +1,1 @@
+lib/stats/counter.ml: Armvirt_engine Format Hashtbl List Option String

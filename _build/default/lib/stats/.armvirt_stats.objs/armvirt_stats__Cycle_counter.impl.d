@@ -1,0 +1,1 @@
+lib/stats/cycle_counter.ml: Armvirt_engine

@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Format Hashtbl Int List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/stats/summary.ml: Armvirt_engine Array Float Format List Stdlib

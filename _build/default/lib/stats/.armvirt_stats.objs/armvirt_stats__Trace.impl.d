@@ -1,0 +1,1 @@
+lib/stats/trace.ml: Armvirt_engine Format Hashtbl Int List Option

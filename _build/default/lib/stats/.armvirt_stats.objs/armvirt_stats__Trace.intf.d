@@ -1,0 +1,1 @@
+lib/stats/trace.mli: Armvirt_engine Format

@@ -1,0 +1,44 @@
+type t = {
+  bucket_width : float;
+  counts : (int, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~bucket_width =
+  if bucket_width <= 0.0 then
+    invalid_arg "Histogram.create: non-positive bucket width";
+  { bucket_width; counts = Hashtbl.create 64; total = 0 }
+
+let add h x =
+  if x < 0.0 then invalid_arg "Histogram.add: negative observation";
+  let idx = int_of_float (x /. h.bucket_width) in
+  let current = Option.value ~default:0 (Hashtbl.find_opt h.counts idx) in
+  Hashtbl.replace h.counts idx (current + 1);
+  h.total <- h.total + 1
+
+let count h = h.total
+let bucket_count h = Hashtbl.length h.counts
+
+let buckets h =
+  Hashtbl.fold (fun idx n acc -> (idx, n) :: acc) h.counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (idx, n) ->
+         let lower = float_of_int idx *. h.bucket_width in
+         (lower, lower +. h.bucket_width, n))
+
+let mode_bucket h =
+  List.fold_left
+    (fun best ((_, _, n) as b) ->
+      match best with
+      | Some (_, _, m) when m >= n -> best
+      | _ -> Some b)
+    None (buckets h)
+
+let pp ppf h =
+  let bs = buckets h in
+  let widest = List.fold_left (fun acc (_, _, n) -> Stdlib.max acc n) 1 bs in
+  List.iter
+    (fun (lo, hi, n) ->
+      let bar = String.make (Stdlib.max 1 (n * 40 / widest)) '#' in
+      Format.fprintf ppf "[%10.1f, %10.1f) %6d %s@." lo hi n bar)
+    bs

@@ -1,0 +1,26 @@
+(** Fixed-width histograms for latency distributions.
+
+    Used by the I/O-latency experiments to inspect the distribution behind
+    the representative numbers of Table II, and by failure-injection tests
+    to check tail behaviour. *)
+
+type t
+
+val create : bucket_width:float -> t
+(** Raises [Invalid_argument] if [bucket_width <= 0]. *)
+
+val add : t -> float -> unit
+(** Negative observations raise [Invalid_argument]. *)
+
+val count : t -> int
+val bucket_count : t -> int
+
+val buckets : t -> (float * float * int) list
+(** [(lower, upper, count)] for every non-empty bucket, ascending. *)
+
+val mode_bucket : t -> (float * float * int) option
+(** The most populated bucket, or [None] when empty; ties resolve to the
+    lowest bucket. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII bar rendering, one line per non-empty bucket. *)

@@ -1,0 +1,35 @@
+module Cycles = Armvirt_engine.Cycles
+
+type event = { at : Cycles.t; label : string; cycles : int }
+
+type t = { mutable events : event list (* newest first *) }
+
+let create () = { events = [] }
+
+let record t ~label ~cycles ~now =
+  t.events <- { at = now; label; cycles } :: t.events
+
+let events t = List.rev t.events
+let length t = List.length t.events
+let clear t = t.events <- []
+
+let total_cycles t =
+  List.fold_left (fun acc e -> acc + e.cycles) 0 t.events
+
+let by_label t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace table e.label
+        (Option.value ~default:0 (Hashtbl.find_opt table e.label) + e.cycles))
+    t.events;
+  Hashtbl.fold (fun label cycles acc -> (label, cycles) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let pp_timeline ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%12s  +%-6d %s@."
+        (Format.asprintf "%a" Cycles.pp e.at)
+        e.cycles e.label)
+    (events t)

@@ -1,0 +1,37 @@
+(** Operation timelines: a cycle-accurate ledger of everything a
+    simulated path paid for.
+
+    Attach a trace to a machine through
+    [Armvirt_arch.Machine.observe] and every priced operation lands
+    here with its completion time. {!pp_timeline} renders the ledger the
+    way the paper's Table III renders the hypercall — ordered, with
+    per-step and cumulative cycles — for any path in the library. *)
+
+type event = {
+  at : Armvirt_engine.Cycles.t;  (** Completion time of the operation. *)
+  label : string;
+  cycles : int;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> label:string -> cycles:int -> now:Armvirt_engine.Cycles.t -> unit
+(** The observer callback ({!Armvirt_arch.Machine.observe} compatible:
+    [Machine.observe m (Some (Trace.record trace))]). *)
+
+val events : t -> event list
+(** Chronological. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val total_cycles : t -> int
+
+val by_label : t -> (string * int) list
+(** Total cycles per label, descending. *)
+
+val pp_timeline : Format.formatter -> t -> unit
+(** One line per event: completion time, step cost, label. *)

@@ -1,0 +1,1 @@
+lib/system/consolidation_system.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Array Float List Printf

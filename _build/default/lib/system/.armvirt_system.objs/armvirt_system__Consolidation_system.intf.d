@@ -1,0 +1,1 @@
+lib/system/consolidation_system.mli: Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/system/disk_system.ml: Armvirt_arch Armvirt_engine Armvirt_guest Armvirt_hypervisor Armvirt_io Armvirt_mem List Option

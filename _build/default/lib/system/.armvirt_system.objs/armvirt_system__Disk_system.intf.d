@@ -1,0 +1,1 @@
+lib/system/disk_system.mli: Armvirt_hypervisor Armvirt_io

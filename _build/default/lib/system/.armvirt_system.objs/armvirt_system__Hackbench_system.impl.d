@@ -1,0 +1,1 @@
+lib/system/hackbench_system.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Array Printf

@@ -1,0 +1,1 @@
+lib/system/hackbench_system.mli: Armvirt_hypervisor

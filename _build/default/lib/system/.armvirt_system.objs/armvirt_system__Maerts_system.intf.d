@@ -1,0 +1,1 @@
+lib/system/maerts_system.mli: Armvirt_hypervisor

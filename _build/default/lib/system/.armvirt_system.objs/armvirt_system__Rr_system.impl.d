@@ -1,0 +1,1 @@
+lib/system/rr_system.ml: Armvirt_arch Armvirt_engine Armvirt_gic Armvirt_guest Armvirt_hypervisor Armvirt_io Armvirt_mem Armvirt_net List Option

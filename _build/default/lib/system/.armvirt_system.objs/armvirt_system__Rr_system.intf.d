@@ -1,0 +1,1 @@
+lib/system/rr_system.mli: Armvirt_hypervisor

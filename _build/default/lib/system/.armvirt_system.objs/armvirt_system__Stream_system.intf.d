@@ -1,0 +1,1 @@
+lib/system/stream_system.mli: Armvirt_hypervisor

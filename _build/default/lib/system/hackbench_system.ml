@@ -1,0 +1,94 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+module Cost_model = Armvirt_arch.Cost_model
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+
+type result = {
+  messages : int;
+  wakeups : int;
+  makespan_ms : float;
+  normalized : float;
+}
+
+let vcpus = 4
+
+(* Per-message scheduler work, native (both sides): calibrated so the
+   vIPI surcharge lands at the Figure 4 ratio (one wake per ~115k
+   cycles of useful work, from the Hackbench profile). *)
+let sender_work = 60_000
+let receiver_work = 55_000
+let native_wake_ipi = 1_500
+
+(* Run the message-passing pattern on a machine, charging [wake_cost]
+   whenever a send finds its receiver parked. Returns
+   (makespan_cycles, messages, wakeups). *)
+let run_pattern machine ~groups ~loops ~wake_cost =
+  let sim = Machine.sim machine in
+  let vcpu_res =
+    Array.init vcpus (fun _ -> Sim.Resource.create sim ~capacity:1)
+  in
+  let wakeups = ref 0 in
+  let messages = ref 0 in
+  let finish = ref Cycles.zero in
+  let done_count = ref 0 in
+  for g = 0 to groups - 1 do
+    let mailbox : int Sim.Mailbox.t = Sim.Mailbox.create sim in
+    let receiver_parked = ref false in
+    let sender_cpu = vcpu_res.(g mod vcpus) in
+    let receiver_cpu = vcpu_res.((g + 1) mod vcpus) in
+    Sim.spawn sim ~name:(Printf.sprintf "receiver-%d" g) (fun () ->
+        for _ = 1 to loops do
+          receiver_parked := true;
+          let _msg = Sim.Mailbox.recv mailbox in
+          receiver_parked := false;
+          Sim.Resource.use receiver_cpu (Cycles.of_int receiver_work)
+        done;
+        incr done_count;
+        if !done_count = groups then finish := Sim.current_time ());
+    Sim.spawn sim ~name:(Printf.sprintf "sender-%d" g) (fun () ->
+        for i = 1 to loops do
+          Sim.Resource.acquire sender_cpu;
+          Sim.delay (Cycles.of_int sender_work);
+          if !receiver_parked then begin
+            (* Waking a sleeping task on another VCPU: a rescheduling
+               IPI, at whatever this platform charges for one. *)
+            incr wakeups;
+            Sim.delay (Cycles.of_int wake_cost)
+          end;
+          incr messages;
+          Sim.Mailbox.send mailbox i;
+          Sim.Resource.release sender_cpu
+        done)
+  done;
+  Sim.run sim;
+  (Cycles.to_int !finish, !messages, !wakeups)
+
+let fresh_machine (hyp : Hypervisor.t) =
+  let sim = Sim.create () in
+  Machine.create sim
+    ~cost:(Machine.cost hyp.Hypervisor.machine)
+    ~num_cpus:8
+
+let run ?(groups = 10) ?(loops = 50) (hyp : Hypervisor.t) =
+  if groups < 1 || loops < 1 then
+    invalid_arg "Hackbench_system.run: non-positive parameter";
+  let p = hyp.Hypervisor.io_profile in
+  let wake_cost =
+    native_wake_ipi
+    + (if p = Io_profile.native then 0 else p.Io_profile.vipi_guest_cpu)
+  in
+  let virt_span, messages, wakeups =
+    run_pattern hyp.Hypervisor.machine ~groups ~loops ~wake_cost
+  in
+  let native_span, _, _ =
+    run_pattern (fresh_machine hyp) ~groups ~loops ~wake_cost:native_wake_ipi
+  in
+  let freq = Machine.freq_ghz hyp.Hypervisor.machine *. 1e9 in
+  {
+    messages;
+    wakeups;
+    makespan_ms = float_of_int virt_span /. freq *. 1e3;
+    normalized = float_of_int virt_span /. float_of_int native_span;
+  }

@@ -1,0 +1,27 @@
+(** A structural Hackbench: sender/receiver process groups exchanging
+    messages through the engine's mailboxes, with every cross-VCPU
+    wake-up paying the hypervisor's virtual IPI cost.
+
+    Table IV's Hackbench "involves running lots of threads that are
+    sleeping and waking up, requiring frequent IPIs for rescheduling"
+    (section V). The Figure 4 model charges those IPIs analytically;
+    this module actually runs the sleep/wake pattern — receivers park in
+    mailboxes, senders wake them, each wake of a parked receiver is a
+    rescheduling IPI — and recovers the same modest overhead gap
+    between the hypervisors. *)
+
+type result = {
+  messages : int;
+  wakeups : int;  (** Sends that found the receiver parked (IPIs). *)
+  makespan_ms : float;
+  normalized : float;  (** vs the same run under the native profile. *)
+}
+
+val run :
+  ?groups:int ->
+  ?loops:int ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  result
+(** [groups] defaults to 10 sender/receiver pairs, [loops] to 50
+    messages each. The native baseline is computed internally on a
+    fresh machine with the same workload. *)

@@ -1,0 +1,42 @@
+(** A fully structural request-response server: the whole I/O stack
+    assembled from the library's concrete pieces and run as cooperating
+    simulation processes.
+
+    Where {!Armvirt_workloads.Netperf} prices the TCP_RR path by
+    composing per-segment costs, this module actually *runs* it: a
+    client process sends packets over a {!Armvirt_net.Link} to a
+    {!Armvirt_net.Nic}; the host/Dom0 backend process moves descriptors
+    through a real {!Armvirt_io.Virtqueue} (zero-copy hypervisors) or a
+    {!Armvirt_io.Xen_ring} whose slots are mapped and unmapped through
+    the VM's {!Armvirt_mem.Grant_table}; interrupts are injected into
+    the VCPU's {!Armvirt_gic.Vgic} (with an {!Armvirt_io.Event_channel}
+    carrying Xen's upcalls) and acknowledged/completed by the guest
+    process; responses retrace the path. Per-segment costs come from
+    the same {!Armvirt_hypervisor.Io_profile}, so the two
+    implementations must agree — an end-to-end consistency check the
+    test suite enforces.
+
+    All protocol invariants are exercised for real: ring ownership,
+    grant map/unmap pairing, event-channel pending bits, list-register
+    life cycles. A protocol violation raises instead of measuring. *)
+
+type result = {
+  transactions : int;
+  time_per_trans_us : float;
+  trans_per_sec : float;
+  recv_to_send_us : float;  (** Mean server residence per transaction. *)
+  vm_internal_us : float option;  (** [None] for the native config. *)
+  rings_used : int;  (** Descriptors that crossed the paravirtual rings. *)
+  grants_used : int;  (** Grant map/unmap pairs performed (Xen only). *)
+  virqs_injected : int;  (** Interrupts injected into the vGIC. *)
+}
+
+val run :
+  ?transactions:int ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  result
+(** [transactions] defaults to 100. The hypervisor record chooses the
+    path: the native profile short-circuits the stack; zero-copy
+    profiles (KVM) use virtqueues; copying profiles (Xen) use PV rings,
+    grants and event channels. Must not be re-entered on the same
+    machine concurrently. *)

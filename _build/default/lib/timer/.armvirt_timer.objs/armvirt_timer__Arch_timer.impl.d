@@ -1,0 +1,1 @@
+lib/timer/arch_timer.ml: Armvirt_engine

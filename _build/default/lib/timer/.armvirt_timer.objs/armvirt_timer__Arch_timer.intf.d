@@ -1,0 +1,1 @@
+lib/timer/arch_timer.mli: Armvirt_engine

@@ -1,0 +1,55 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+
+type t = {
+  sim : Sim.t;
+  on_expiry : unit -> unit;
+  mutable generation : int; (* invalidates superseded arm requests *)
+  mutable armed : bool;
+  mutable cntvoff : Cycles.t;
+  mutable expirations : int;
+}
+
+let create sim ~on_expiry =
+  {
+    sim;
+    on_expiry;
+    generation = 0;
+    armed = false;
+    cntvoff = Cycles.zero;
+    expirations = 0;
+  }
+
+let arm_timer t ~deadline =
+  t.generation <- t.generation + 1;
+  t.armed <- true;
+  let generation = t.generation in
+  let fire () =
+    let now = Sim.current_time () in
+    let wait =
+      if Cycles.compare deadline now > 0 then Cycles.sub deadline now
+      else Cycles.zero
+    in
+    Sim.delay wait;
+    if t.generation = generation && t.armed then begin
+      t.armed <- false;
+      t.expirations <- t.expirations + 1;
+      t.on_expiry ()
+    end
+  in
+  Sim.spawn_here ~name:"arch-timer" fire
+
+let cancel t =
+  t.generation <- t.generation + 1;
+  t.armed <- false
+
+let is_armed t = t.armed
+let cntvoff t = t.cntvoff
+let set_cntvoff t off = t.cntvoff <- off
+
+let virtual_now t =
+  let now = Sim.current_time () in
+  if Cycles.compare now t.cntvoff >= 0 then Cycles.sub now t.cntvoff
+  else Cycles.zero
+
+let expirations t = t.expirations

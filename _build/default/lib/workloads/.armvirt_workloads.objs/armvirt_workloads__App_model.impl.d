@@ -1,0 +1,1 @@
+lib/workloads/app_model.ml: Armvirt_hypervisor Float List Workload

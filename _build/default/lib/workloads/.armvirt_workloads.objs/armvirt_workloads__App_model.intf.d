@@ -1,0 +1,1 @@
+lib/workloads/app_model.mli: Armvirt_hypervisor Workload

@@ -1,0 +1,1 @@
+lib/workloads/coldstart.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_mem

@@ -1,0 +1,1 @@
+lib/workloads/coldstart.mli: Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/crosscall.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/crosscall.mli: Armvirt_hypervisor

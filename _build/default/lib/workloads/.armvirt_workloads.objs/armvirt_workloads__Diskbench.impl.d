@@ -1,0 +1,1 @@
+lib/workloads/diskbench.ml: Armvirt_arch Armvirt_guest Armvirt_hypervisor Armvirt_io Float Printf

@@ -1,0 +1,1 @@
+lib/workloads/diskbench.mli: Armvirt_hypervisor Armvirt_io

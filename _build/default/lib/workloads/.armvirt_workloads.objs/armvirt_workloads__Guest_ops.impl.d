@@ -1,0 +1,1 @@
+lib/workloads/guest_ops.ml: Armvirt_guest Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/guest_ops.mli: Armvirt_hypervisor

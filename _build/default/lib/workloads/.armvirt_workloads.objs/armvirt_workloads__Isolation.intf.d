@@ -1,0 +1,1 @@
+lib/workloads/isolation.mli: Armvirt_hypervisor

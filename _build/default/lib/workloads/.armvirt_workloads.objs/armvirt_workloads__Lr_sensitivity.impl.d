@@ -1,0 +1,1 @@
+lib/workloads/lr_sensitivity.ml: Armvirt_gic Armvirt_hypervisor List

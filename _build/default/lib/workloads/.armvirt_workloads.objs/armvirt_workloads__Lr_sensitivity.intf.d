@@ -1,0 +1,1 @@
+lib/workloads/lr_sensitivity.mli: Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_stats List

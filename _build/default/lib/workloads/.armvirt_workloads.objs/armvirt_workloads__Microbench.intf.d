@@ -1,0 +1,1 @@
+lib/workloads/microbench.mli: Armvirt_hypervisor Armvirt_stats

@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: Armvirt_arch Armvirt_engine Armvirt_guest Armvirt_hypervisor Armvirt_net List Option

@@ -1,0 +1,1 @@
+lib/workloads/netperf.mli: Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/oversub.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Fun List

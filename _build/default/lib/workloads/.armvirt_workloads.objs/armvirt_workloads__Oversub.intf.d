@@ -1,0 +1,1 @@
+lib/workloads/oversub.mli: Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/tail_latency.ml: Armvirt_arch Armvirt_engine Armvirt_guest Armvirt_hypervisor Armvirt_stats List Printf

@@ -1,0 +1,1 @@
+lib/workloads/tail_latency.mli: Armvirt_hypervisor Armvirt_stats

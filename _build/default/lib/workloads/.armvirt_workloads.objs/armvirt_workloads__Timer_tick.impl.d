@@ -1,0 +1,1 @@
+lib/workloads/timer_tick.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_timer List Option

@@ -1,0 +1,1 @@
+lib/workloads/timer_tick.mli: Armvirt_hypervisor

@@ -1,0 +1,1 @@
+lib/workloads/trace_replay.ml: Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_stats Float Hashtbl List Stdlib String

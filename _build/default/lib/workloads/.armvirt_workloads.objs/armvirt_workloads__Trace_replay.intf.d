@@ -1,0 +1,1 @@
+lib/workloads/trace_replay.mli: Armvirt_hypervisor

@@ -1,0 +1,107 @@
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+
+type irq_distribution = Single_vcpu | All_vcpus | Spread of int
+
+type verdict = {
+  normalized : float;
+  bottleneck : string;
+  vcpu0_share : float;
+  added_cycles : float;
+}
+
+let irq_preempt_penalty = 1200
+let vcpus = 4.0
+let backend_threads = 1.0
+(* netback/vhost: one thread services the virtual interface *)
+
+let run ?(irq_distribution = Single_vcpu) (w : Workload.t)
+    (hyp : Hypervisor.t) =
+  if w.Workload.irq_side_cycles > w.Workload.total_cycles then
+    invalid_arg "App_model.run: irq_side_cycles exceeds total_cycles";
+  let p = hyp.Hypervisor.io_profile in
+  let f = float_of_int in
+  (* The number of VCPUs absorbing interrupt work. *)
+  let irq_vcpus =
+    match irq_distribution with
+    | Single_vcpu -> 1
+    | All_vcpus -> 4
+    | Spread n ->
+        if n < 1 || n > 4 then
+          invalid_arg "App_model.run: Spread outside 1-4";
+        n
+  in
+  (* Interrupt coalescing: distributing IRQs restores per-VCPU polling,
+     so the event multiplier relaxes toward 1. *)
+  let irq_factor =
+    1.0
+    +. ((p.Io_profile.irq_rate_factor -. 1.0) /. float_of_int irq_vcpus)
+  in
+  let rx_events = w.Workload.device_irqs *. irq_factor in
+  let tx_events =
+    if p.Io_profile.zero_copy then 0.0
+    else
+      (* Each interrupt-taking VCPU polls its ring slice: completions
+         batch away proportionally. *)
+      w.Workload.tx_completion_events /. float_of_int irq_vcpus
+  in
+  let events = rx_events +. tx_events in
+  let per_event =
+    (* Native interrupts carry no virtualization surcharge and no extra
+       preemption: the penalty models the exit/inject/enter disruption. *)
+    if p.Io_profile.irq_delivery_guest_cpu = 0 then 0.0
+    else
+      f p.Io_profile.irq_delivery_guest_cpu
+      +. f p.Io_profile.virq_completion
+      +. f irq_preempt_penalty
+  in
+  (* Virtualization surcharge, split by where it executes. *)
+  let irq_added = events *. per_event in
+  let frontend_added =
+    (w.Workload.kicks *. f p.Io_profile.kick_guest_cpu)
+    +. (w.Workload.packets_rx *. f p.Io_profile.guest_rx_per_packet)
+    +. (w.Workload.packets_tx *. f p.Io_profile.guest_tx_per_packet)
+    +. (w.Workload.vipis *. f p.Io_profile.vipi_guest_cpu)
+  in
+  let backend =
+    (w.Workload.packets_rx
+    *. f (Io_profile.total_rx_packet_cost p ~bytes:150))
+    +. (w.Workload.packets_tx
+       *. f (Io_profile.total_tx_packet_cost p ~bytes:1300))
+    +. (w.Workload.bytes_rx *. p.Io_profile.rx_copy_per_byte)
+    +. (w.Workload.bytes_tx *. p.Io_profile.tx_copy_per_byte)
+  in
+  let added = irq_added +. frontend_added +. backend in
+  (* Per-unit demand on each resource, in cycles of one CPU. The VCPU
+     bound is a makespan: VCPU0 must absorb all interrupt-context work
+     (native + surcharge), while the remaining work packs across all
+     four VCPUs — so the binding term is max(irq pile, average). *)
+  let native_per_vcpu = w.Workload.total_cycles /. vcpus in
+  let average =
+    (w.Workload.total_cycles +. irq_added +. frontend_added) /. vcpus
+  in
+  let vcpu0 =
+    if irq_vcpus >= 4 then average
+    else
+      (w.Workload.irq_side_cycles +. irq_added
+      +. (w.Workload.packets_rx *. f p.Io_profile.guest_rx_per_packet))
+      /. float_of_int irq_vcpus
+  in
+  let backend_per_thread = backend /. backend_threads in
+  let demands =
+    [ ("vcpu0", vcpu0); ("vcpus", average); ("backend", backend_per_thread) ]
+  in
+  let bottleneck, worst =
+    List.fold_left
+      (fun (bn, bv) (name, v) -> if v > bv then (name, v) else (bn, bv))
+      ("vcpus", 0.0) demands
+  in
+  let normalized = Float.max 1.0 (worst /. native_per_vcpu) in
+  {
+    normalized;
+    bottleneck = (if normalized <= 1.0 then "none" else bottleneck);
+    vcpu0_share = vcpu0 /. native_per_vcpu;
+    added_cycles = added;
+  }
+
+let overhead_percent v = (v.normalized -. 1.0) *. 100.0

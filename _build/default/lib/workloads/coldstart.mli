@@ -1,0 +1,25 @@
+(** Cold-start stage-2 faulting: the "one-time page fault costs at
+    start up" the paper's analysis deliberately ignores (section V),
+    measured instead of waved away.
+
+    A freshly booted VM touches its working set for the first time;
+    every touch takes a stage-2 abort into the hypervisor, which
+    allocates a machine page, installs the translation and returns.
+    The experiment walks a working set twice — faulting pass, then warm
+    pass — against a real {!Armvirt_mem.Stage2} table and per-CPU
+    {!Armvirt_mem.Tlb}, and prices each fault with the hypervisor's
+    transition costs. *)
+
+type result = {
+  config : string;
+  pages : int;
+  faults : int;  (** First pass: one per page. *)
+  warm_faults : int;  (** Second pass: must be zero. *)
+  tlb_hit_rate_warm : float;
+  per_fault_cycles : int;
+  total_ms : float;  (** Cost of faulting in the whole working set. *)
+}
+
+val run :
+  Armvirt_hypervisor.Hypervisor.t -> pages:int -> result
+(** Raises [Invalid_argument] if [pages < 1]. *)

@@ -1,0 +1,28 @@
+(** Guest cross-calls: `smp_call_function` / remote TLB flush from
+    inside a VM.
+
+    A guest broadcasting to its other VCPUs (for an x86-style TLB
+    shootdown or any kernel cross-call) pays a virtual IPI per target —
+    and the targets answer concurrently, so the completion time is the
+    slowest leg plus the sender's wait loop. This is the guest-visible
+    face of section V's argument that "signaling all physical CPUs to
+    locally invalidate TLBs ... proved more expensive than simply
+    copying the data": on x86 even the {e guests} pay this broadcast for
+    their own flushes, while an ARM guest uses broadcast TLBI and skips
+    the IPIs entirely. *)
+
+type result = {
+  config : string;
+  targets : int;
+  latency_cycles : int;
+      (** Sender's initiate → all targets acknowledged. *)
+  sender_cpu_cycles : int;  (** Cycles burned on the sending VCPU. *)
+  arm_tlbi_alternative : int option;
+      (** What the same flush costs an ARM guest via broadcast TLBI —
+          no IPIs at all. [None] on x86, which has no such instruction. *)
+}
+
+val run :
+  ?targets:int -> Armvirt_hypervisor.Hypervisor.t -> result
+(** [targets] defaults to 3 (the other VCPUs of the paper's 4-way VM).
+    Must be ≥ 1 and ≤ 3; runs inside a fresh simulation pass. *)

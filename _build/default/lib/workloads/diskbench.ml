@@ -1,0 +1,77 @@
+module Machine = Armvirt_arch.Machine
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+module Kernel_costs = Armvirt_guest.Kernel_costs
+module Blk_device = Armvirt_io.Blk_device
+
+type result = {
+  config : string;
+  rand_read_us : float;
+  rand_write_us : float;
+  seq_read_mb_s : float;
+  virt_added_us : float;
+}
+
+(* Guest-side block layer path (submit_bio through the driver), common
+   to native and virtualized runs. *)
+let guest_blk_path (g : Kernel_costs.t) =
+  g.Kernel_costs.syscall + g.Kernel_costs.driver_tx + g.Kernel_costs.irq_top_half
+
+let request_cycles (hyp : Hypervisor.t) ~device ~bytes ~write =
+  let p = hyp.Hypervisor.io_profile in
+  let freq_ghz = Machine.freq_ghz hyp.Hypervisor.machine in
+  let pages = (bytes + 4095) / 4096 in
+  let virt =
+    p.Io_profile.kick_guest_cpu + p.Io_profile.notify_latency
+    + p.Io_profile.backend_cpu_per_packet
+    + (pages
+      * (if write then p.Io_profile.tx_grant_per_packet
+         else p.Io_profile.rx_grant_per_packet))
+    + int_of_float
+        ((if write then p.Io_profile.tx_copy_per_byte
+          else p.Io_profile.rx_copy_per_byte)
+        *. float_of_int bytes)
+    + p.Io_profile.irq_delivery_latency + p.Io_profile.virq_completion
+  in
+  guest_blk_path hyp.Hypervisor.guest
+  + Blk_device.service_cycles device ~freq_ghz ~bytes ~write
+  + virt
+
+let run (hyp : Hypervisor.t) ~device =
+  let freq = Machine.freq_ghz hyp.Hypervisor.machine *. 1e9 in
+  let us c = float_of_int c /. freq *. 1e6 in
+  let rand_read = request_cycles hyp ~device ~bytes:4096 ~write:false in
+  let rand_write = request_cycles hyp ~device ~bytes:4096 ~write:true in
+  (* Native latency on the same device, for the overhead column. *)
+  let native_read =
+    guest_blk_path hyp.Hypervisor.guest
+    + Blk_device.service_cycles device
+        ~freq_ghz:(Machine.freq_ghz hyp.Hypervisor.machine)
+        ~bytes:4096 ~write:false
+  in
+  (* Sequential: 128 KB requests with the device pipelined; the software
+     path binds only if it cannot issue fast enough. *)
+  let chunk = 131_072 in
+  let p = hyp.Hypervisor.io_profile in
+  let software_per_chunk =
+    guest_blk_path hyp.Hypervisor.guest
+    + p.Io_profile.kick_guest_cpu + p.Io_profile.backend_cpu_per_packet
+    + ((chunk + 4095) / 4096 * p.Io_profile.rx_grant_per_packet)
+    + int_of_float (p.Io_profile.rx_copy_per_byte *. float_of_int chunk)
+    + p.Io_profile.irq_delivery_guest_cpu
+  in
+  let software_mb_s =
+    freq /. float_of_int software_per_chunk *. float_of_int chunk /. 1e6
+  in
+  let device_mb_s =
+    float_of_int chunk
+    /. Blk_device.service_us device ~bytes:chunk ~write:false
+  in
+  {
+    config =
+      Printf.sprintf "%s on %s" hyp.Hypervisor.name (Blk_device.describe device);
+    rand_read_us = us rand_read;
+    rand_write_us = us rand_write;
+    seq_read_mb_s = Float.min software_mb_s device_mb_s;
+    virt_added_us = us (rand_read - native_read);
+  }

@@ -1,0 +1,24 @@
+(** Paravirtual block I/O: fio-style random-access latency and
+    sequential throughput per hypervisor.
+
+    The paper runs with KVM's [cache=none] virtio-blk and Xen's
+    in-kernel blkback (section III) but never isolates disk I/O; this
+    experiment fills that in using the same per-event I/O profiles that
+    drive the network results — the virtualization tax around a request
+    is the same notify/backend/grant/interrupt chain, only the device
+    at the bottom changes. *)
+
+type result = {
+  config : string;
+  rand_read_us : float;  (** One 4 KB random read, queue depth 1. *)
+  rand_write_us : float;
+  seq_read_mb_s : float;  (** 128 KB sequential reads, pipelined. *)
+  virt_added_us : float;  (** Added latency vs native on the same device. *)
+}
+
+val run :
+  Armvirt_hypervisor.Hypervisor.t ->
+  device:Armvirt_io.Blk_device.t ->
+  result
+(** The bench harness's [disk] experiment runs this for Native, KVM and
+    Xen on the m400's SSD and the r320's RAID array. *)

@@ -1,0 +1,67 @@
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+module Kernel_costs = Armvirt_guest.Kernel_costs
+
+type row = { op : string; cycles : int; hypervisor_involved : bool }
+
+(* Guest-internal costs with no hypervisor analogue in Kernel_costs. *)
+let stage1_minor_fault = 1_100
+let stage2_host_alloc = 1_800
+let stage2_map = 420
+
+let op_names =
+  [
+    "null syscall";
+    "process context switch";
+    "minor page fault (stage-1)";
+    "cold page fault (stage-2 fill)";
+    "device interrupt to handler";
+    "interrupt completion (EOI)";
+    "timer tick";
+  ]
+
+let measure (hyp : Hypervisor.t) =
+  let g = hyp.Hypervisor.guest in
+  let p = hyp.Hypervisor.io_profile in
+  let native = p = Io_profile.native in
+  let transition = p.Io_profile.kick_guest_cpu in
+  [
+    (* EL0 -> EL1 inside the VM: the hypervisor never sees it. *)
+    { op = "null syscall"; cycles = g.Kernel_costs.syscall;
+      hypervisor_involved = false };
+    { op = "process context switch"; cycles = g.Kernel_costs.context_switch;
+      hypervisor_involved = false };
+    (* A present-page permission/minor fault resolves entirely in the
+       guest's own stage-1 tables. *)
+    { op = "minor page fault (stage-1)"; cycles = stage1_minor_fault;
+      hypervisor_involved = false };
+    (* First touch of a page: the stage-2 abort is the hypervisor's. *)
+    {
+      op = "cold page fault (stage-2 fill)";
+      cycles =
+        stage1_minor_fault + stage2_host_alloc + stage2_map
+        + (if native then 0 else transition);
+      hypervisor_involved = not native;
+    };
+    {
+      op = "device interrupt to handler";
+      cycles =
+        g.Kernel_costs.irq_top_half
+        + (if native then 0 else p.Io_profile.irq_delivery_guest_cpu);
+      hypervisor_involved = not native;
+    };
+    {
+      op = "interrupt completion (EOI)";
+      cycles = (if native then 71 else p.Io_profile.virq_completion);
+      (* Hardware on ARM even for guests; a trap on pre-vAPIC x86. *)
+      hypervisor_involved = (not native) && p.Io_profile.virq_completion > 100;
+    };
+    {
+      op = "timer tick";
+      cycles =
+        g.Kernel_costs.irq_top_half
+        + (if native then 71
+           else p.Io_profile.irq_delivery_guest_cpu + p.Io_profile.virq_completion);
+      hypervisor_involved = not native;
+    };
+  ]

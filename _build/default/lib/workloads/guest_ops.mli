@@ -1,0 +1,25 @@
+(** lmbench-style guest-local operations: what virtualization does {e
+    not} cost.
+
+    Section V: "CPU and memory virtualization has been highly optimized
+    directly in hardware and, ignoring one-time page fault costs at
+    start up, is performed largely without the hypervisor's
+    involvement." This experiment makes that half of the story explicit:
+    syscalls, process context switches and guest-internal (stage-1)
+    page faults run at native speed inside every VM, while each
+    operation that does involve the hypervisor — a cold stage-2 fault, a
+    device interrupt, a timer tick — carries that hypervisor's
+    transition tax. *)
+
+type row = {
+  op : string;
+  cycles : int;
+  hypervisor_involved : bool;
+      (** Whether the operation left the VM. False rows must be
+          identical across all configurations. *)
+}
+
+val measure : Armvirt_hypervisor.Hypervisor.t -> row list
+(** Seven operations, cheap ones first. *)
+
+val op_names : string list

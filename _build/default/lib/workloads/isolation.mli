@@ -1,0 +1,36 @@
+(** The paper's measurement discipline, demonstrated by breaking it.
+
+    Section IV: "Because these measurements were at the level of a few
+    hundred to a few thousand cycles, it was important to minimize
+    measurement variability ... Variations caused by interrupts and
+    scheduling can skew measurements by thousands of cycles. To address
+    this, we pinned and isolated VCPUs ... assigning all virtual
+    interrupts to other VCPUs."
+
+    This experiment measures the Hypercall microbenchmark twice: once
+    under the paper's discipline (the simulator's default — variance-free
+    by construction) and once with stray host interrupts and scheduler
+    preemptions landing mid-measurement, at rates typical of an
+    unisolated core. The contaminated distribution shows exactly the
+    thousands-of-cycles skew the paper engineered away. *)
+
+type result = {
+  config : string;
+  samples : int;
+  median : float;
+  mean : float;
+  stddev : float;
+  coefficient_of_variation : float;
+  worst : float;  (** Max observed sample. *)
+}
+
+val run :
+  ?seed:int ->
+  ?iterations:int ->
+  interference:bool ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  result
+(** [iterations] defaults to 200. With [interference:false] the result
+    must have zero deviation; with [interference:true], stray events
+    (probability ~0.3/sample, 0.5–15k stolen cycles each) contaminate
+    the samples. Deterministic per [seed] (default 7). *)

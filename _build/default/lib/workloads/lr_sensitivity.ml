@@ -1,0 +1,57 @@
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+module Vgic = Armvirt_gic.Vgic
+
+type result = {
+  num_lrs : int;
+  burst_size : int;
+  bursts : int;
+  injected : int;
+  maintenance_rounds : int;
+  overhead_cycles : int;
+  cycles_per_interrupt : float;
+}
+
+let run (hyp : Hypervisor.t) ~num_lrs ~burst_size ~bursts =
+  if num_lrs < 1 || burst_size < 1 || bursts < 1 then
+    invalid_arg "Lr_sensitivity.run: non-positive parameter";
+  let p = hyp.Hypervisor.io_profile in
+  let transition = p.Io_profile.kick_guest_cpu in
+  let vgic = Vgic.create ~num_lrs () in
+  let maintenance_rounds = ref 0 in
+  let injected = ref 0 in
+  for burst = 0 to bursts - 1 do
+    (* A burst of distinct SPIs lands (e.g. multiqueue NIC vectors). *)
+    for i = 0 to burst_size - 1 do
+      incr injected;
+      Vgic.inject_or_queue vgic (32 + ((burst * burst_size) + i) mod 988)
+    done;
+    (* The guest drains; whenever list registers empty while software
+       queue holds more, the maintenance interrupt fires and the
+       hypervisor refills — one full transition per round. *)
+    let rec drain () =
+      (match Vgic.acknowledge vgic with
+      | Some irq ->
+          Vgic.complete vgic irq;
+          if Vgic.resident vgic = 0 && Vgic.maintenance_needed vgic then begin
+            incr maintenance_rounds;
+            Vgic.drain_overflow vgic
+          end;
+          drain ()
+      | None -> ())
+    in
+    drain ()
+  done;
+  let overhead_cycles = !maintenance_rounds * transition in
+  {
+    num_lrs;
+    burst_size;
+    bursts;
+    injected = !injected;
+    maintenance_rounds = !maintenance_rounds;
+    overhead_cycles;
+    cycles_per_interrupt = float_of_int overhead_cycles /. float_of_int !injected;
+  }
+
+let sweep hyp ~lrs ~burst_size ~bursts =
+  List.map (fun num_lrs -> run hyp ~num_lrs ~burst_size ~bursts) lrs

@@ -1,0 +1,37 @@
+(** vGIC list-register sensitivity: an ablation of a hardware design
+    parameter the paper's numbers rest on.
+
+    The GIC virtual interface holds a handful of list registers (4 on
+    GIC-400). While interrupt bursts fit, guests complete interrupts
+    without trapping (Table II's 71 cycles); once a burst overflows,
+    the hypervisor must park interrupts in software and take
+    maintenance traps to refill — paying the full transition cost each
+    time. This experiment drives bursts of distinct interrupts through
+    a real {!Armvirt_gic.Vgic} at several list-register counts and
+    prices the maintenance traffic per hypervisor. *)
+
+type result = {
+  num_lrs : int;
+  burst_size : int;
+  bursts : int;
+  injected : int;
+  maintenance_rounds : int;  (** Refill traps taken by the hypervisor. *)
+  overhead_cycles : int;
+      (** Maintenance rounds × the hypervisor's exit/entry cost. *)
+  cycles_per_interrupt : float;
+}
+
+val run :
+  Armvirt_hypervisor.Hypervisor.t ->
+  num_lrs:int ->
+  burst_size:int ->
+  bursts:int ->
+  result
+(** Raises [Invalid_argument] on non-positive parameters. *)
+
+val sweep :
+  Armvirt_hypervisor.Hypervisor.t ->
+  lrs:int list ->
+  burst_size:int ->
+  bursts:int ->
+  result list

@@ -1,0 +1,96 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Summary = Armvirt_stats.Summary
+module Cycle_counter = Armvirt_stats.Cycle_counter
+module Machine = Armvirt_arch.Machine
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+
+type results = {
+  hypercall : Summary.t;
+  interrupt_controller_trap : Summary.t;
+  virtual_ipi : Summary.t;
+  virtual_irq_completion : Summary.t;
+  vm_switch : Summary.t;
+  io_latency_out : Summary.t;
+  io_latency_in : Summary.t;
+}
+
+let run ?(iterations = 32) (hyp : Hypervisor.t) =
+  if iterations < 1 then invalid_arg "Microbench.run: iterations < 1";
+  let sim = Machine.sim hyp.Hypervisor.machine in
+  let counter =
+    Cycle_counter.create ~barrier_cost:hyp.Hypervisor.barrier_cost
+  in
+  let timed op =
+    List.init iterations (fun _ -> Cycle_counter.measure counter op)
+  in
+  let latency op = List.init iterations (fun _ -> op ()) in
+  let collected = ref None in
+  Sim.spawn sim ~name:"microbench-driver" (fun () ->
+      let hypercall = timed hyp.Hypervisor.hypercall in
+      let ict = timed hyp.Hypervisor.interrupt_controller_trap in
+      let vipi = latency hyp.Hypervisor.virtual_ipi in
+      let virq = timed hyp.Hypervisor.virtual_irq_completion in
+      let vm_switch = timed hyp.Hypervisor.vm_switch in
+      let io_out = latency hyp.Hypervisor.io_latency_out in
+      let io_in = latency hyp.Hypervisor.io_latency_in in
+      collected :=
+        Some
+          {
+            hypercall = Summary.of_cycles hypercall;
+            interrupt_controller_trap = Summary.of_cycles ict;
+            virtual_ipi = Summary.of_cycles vipi;
+            virtual_irq_completion = Summary.of_cycles virq;
+            vm_switch = Summary.of_cycles vm_switch;
+            io_latency_out = Summary.of_cycles io_out;
+            io_latency_in = Summary.of_cycles io_in;
+          });
+  Sim.run sim;
+  match !collected with
+  | Some r -> r
+  | None -> failwith "Microbench.run: driver process did not complete"
+
+let median s = Cycles.to_int (Summary.median_cycles s)
+
+let to_rows r =
+  [
+    ("Hypercall", median r.hypercall);
+    ("Interrupt Controller Trap", median r.interrupt_controller_trap);
+    ("Virtual IPI", median r.virtual_ipi);
+    ("Virtual IRQ Completion", median r.virtual_irq_completion);
+    ("VM Switch", median r.vm_switch);
+    ("I/O Latency Out", median r.io_latency_out);
+    ("I/O Latency In", median r.io_latency_in);
+  ]
+
+let table1 =
+  [
+    ( "Hypercall",
+      "Transition from VM to hypervisor and return to VM without doing \
+       any work in the hypervisor. Measures bidirectional base transition \
+       cost of hypervisor operations." );
+    ( "Interrupt Controller Trap",
+      "Trap from VM to emulated interrupt controller then return to VM. \
+       Measures a frequent operation for many device drivers and baseline \
+       for accessing I/O devices emulated in the hypervisor." );
+    ( "Virtual IPI",
+      "Issue a virtual IPI from a VCPU to another VCPU running on a \
+       different PCPU, both PCPUs executing VM code. Measures time \
+       between sending the virtual IPI until the receiving VCPU handles \
+       it, a frequent operation in multi-core OSes." );
+    ( "Virtual IRQ Completion",
+      "VM acknowledging and completing a virtual interrupt. Measures a \
+       frequent operation that happens for every injected virtual \
+       interrupt." );
+    ( "VM Switch",
+      "Switch from one VM to another on the same physical core. Measures \
+       a central cost when oversubscribing physical CPUs." );
+    ( "I/O Latency Out",
+      "Measures latency between a driver in the VM signaling the virtual \
+       I/O device in the hypervisor and the virtual I/O device receiving \
+       the signal." );
+    ( "I/O Latency In",
+      "Measures latency between the virtual I/O device in the hypervisor \
+       signaling the VM and the VM receiving the corresponding virtual \
+       interrupt." );
+  ]

@@ -1,0 +1,275 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+module Packet = Armvirt_net.Packet
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+module Kernel_costs = Armvirt_guest.Kernel_costs
+
+(* Calibration constants for the RR path, in cycles (2.4 GHz basis).
+   host_rx_path / host_tx_path are the physical-side driver, bridge and
+   backend-queue path lengths in the host kernel (KVM) or Dom0 (Xen) —
+   nearly identical software on both, per section III's identical
+   kernels. guest_virt_steal is per-transaction time stolen from the
+   guest by host-side activity sharing the memory system. *)
+let host_rx_path = 36_700
+let host_tx_path = 28_500
+let guest_virt_steal = 4_800
+let client_turnaround = 54_920
+let wire_cycles = 4_800
+let nic_dma = 500
+let rr_payload = 1
+
+let wire_gbps = 9.42
+
+type rr_result = {
+  transactions : int;
+  time_per_trans_us : float;
+  trans_per_sec : float;
+  overhead_us : float;
+  send_to_recv_us : float;
+  recv_to_send_us : float;
+  recv_to_vm_recv_us : float option;
+  vm_recv_to_vm_send_us : float option;
+  vm_send_to_send_us : float option;
+  normalized : float;
+}
+
+let is_native (hyp : Hypervisor.t) = hyp.Hypervisor.name = "Native"
+
+(* One request-response at the server machine: wire in, server
+   processing (through the hypervisor when virtualized), wire out. All
+   timestamps land on the packet, mirroring tcpdump at the data-link
+   layer plus a capture inside the VM. *)
+let transaction (hyp : Hypervisor.t) ~id =
+  let p = hyp.Hypervisor.io_profile in
+  let g = hyp.Hypervisor.guest in
+  let machine = hyp.Hypervisor.machine in
+  let spend label c = Machine.spend machine label c in
+  let pkt = Packet.create ~payload:rr_payload ~id () in
+  Packet.stamp pkt "client_send";
+  Sim.delay (Cycles.of_int (wire_cycles + nic_dma));
+  (* Xen: the physical driver lives in Dom0, which may need waking
+     before tcpdump even sees the frame. *)
+  spend "netperf.phys_rx_extra" p.Io_profile.phys_rx_extra_latency;
+  Packet.stamp pkt "recv";
+  if is_native hyp then
+    spend "netperf.native_server" (Kernel_costs.rr_server_cycles g)
+  else begin
+    (* Physical driver -> bridge -> backend queue, then delivery of the
+       virtual interrupt into the VM. *)
+    spend "netperf.host_rx_path" host_rx_path;
+    spend "netperf.rx_grant"
+      (Io_profile.total_rx_packet_cost p ~bytes:(Packet.wire_bytes pkt)
+      - p.Io_profile.backend_cpu_per_packet);
+    spend "netperf.irq_delivery" p.Io_profile.irq_delivery_latency;
+    Packet.stamp pkt "vm_recv";
+    (* In-VM residence: the native stack minus the physical driver ends,
+       plus paravirtual frontend costs. *)
+    let guest_core =
+      Kernel_costs.rr_server_cycles g
+      - g.Kernel_costs.irq_top_half - g.Kernel_costs.driver_tx
+    in
+    spend "netperf.vm_processing"
+      (guest_core + p.Io_profile.guest_rx_per_packet
+      + p.Io_profile.guest_tx_per_packet + p.Io_profile.virq_completion
+      + guest_virt_steal);
+    Packet.stamp pkt "vm_send";
+    (* Kick the backend, which moves the response to the physical NIC. *)
+    spend "netperf.notify" p.Io_profile.notify_latency;
+    spend "netperf.backend_tx"
+      (Io_profile.total_tx_packet_cost p ~bytes:(Packet.wire_bytes pkt));
+    spend "netperf.host_tx_path" host_tx_path
+  end;
+  Packet.stamp pkt "send";
+  Sim.delay (Cycles.of_int (nic_dma + wire_cycles));
+  Packet.stamp pkt "client_recv";
+  (* Client turnaround before the next request hits the wire. *)
+  Sim.delay (Cycles.of_int client_turnaround);
+  pkt
+
+let mean_interval machine pkts a b =
+  let values =
+    List.filter_map
+      (fun p ->
+        Option.map
+          (fun c -> Machine.elapsed_us machine c)
+          (Packet.interval p a b))
+      pkts
+  in
+  match values with
+  | [] -> None
+  | _ ->
+      Some (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values))
+
+(* Native residence time on this machine, for the overhead column. *)
+let native_us (hyp : Hypervisor.t) =
+  let machine = hyp.Hypervisor.machine in
+  let g = hyp.Hypervisor.guest in
+  Machine.elapsed_us machine
+    (Cycles.of_int
+       ((2 * (wire_cycles + nic_dma))
+       + client_turnaround
+       + Kernel_costs.rr_server_cycles g))
+
+let run_tcp_rr ?(transactions = 400) (hyp : Hypervisor.t) =
+  if transactions < 1 then invalid_arg "Netperf.run_tcp_rr: no transactions";
+  let machine = hyp.Hypervisor.machine in
+  let sim = Machine.sim machine in
+  let pkts = ref [] in
+  let elapsed = ref Cycles.zero in
+  Sim.spawn sim ~name:"netperf-tcp-rr" (fun () ->
+      let start = Sim.current_time () in
+      for id = 1 to transactions do
+        pkts := transaction hyp ~id :: !pkts
+      done;
+      elapsed := Cycles.sub (Sim.current_time ()) start);
+  Sim.run sim;
+  let pkts = List.rev !pkts in
+  let total_us = Machine.elapsed_us machine !elapsed in
+  let time_per_trans_us = total_us /. float_of_int transactions in
+  let native = native_us hyp in
+  let interval = mean_interval machine pkts in
+  let value label = Option.value ~default:0.0 label in
+  (* "send to recv": server send -> (wire, client, wire, Dom0 wake) ->
+     next request visible at the server's physical layer. Per-transaction
+     it is everything outside recv->send. *)
+  let recv_to_send = value (interval "recv" "send") in
+  {
+    transactions;
+    time_per_trans_us;
+    trans_per_sec = 1e6 /. time_per_trans_us;
+    overhead_us = time_per_trans_us -. native;
+    send_to_recv_us = time_per_trans_us -. recv_to_send;
+    recv_to_send_us = recv_to_send;
+    recv_to_vm_recv_us = interval "recv" "vm_recv";
+    vm_recv_to_vm_send_us = interval "vm_recv" "vm_send";
+    vm_send_to_send_us = interval "vm_send" "send";
+    normalized = time_per_trans_us /. native;
+  }
+
+type stream_result = {
+  gbps : float;
+  stream_normalized : float;
+  stream_bottleneck : string;
+}
+
+let mtu = 1500
+let gro_aggregate = 42 (* 64 KB GRO/TSO aggregate, in MTU segments *)
+
+let rate_gbps machine ~cycles_per_chunk ~chunk_bytes =
+  let hz = Machine.freq_ghz machine *. 1e9 in
+  hz /. float_of_int cycles_per_chunk *. float_of_int chunk_bytes *. 8.0 /. 1e9
+
+let pick_bound bounds =
+  let name, gbps =
+    List.fold_left
+      (fun (bn, bv) (name, v) -> if v < bv then (name, v) else (bn, bv))
+      ("wire", wire_gbps) bounds
+  in
+  (name, gbps)
+
+(* Bulk receive. KVM's VHOST preserves GRO: the guest and backend see
+   64 KB aggregates and the wire binds. Xen's netback forwards
+   MTU-sized frames, each needing a grant copy, and the guest's
+   per-packet costs bind well below line rate (section V). *)
+let tcp_stream ?(wire_gbps = wire_gbps) (hyp : Hypervisor.t) =
+  let p = hyp.Hypervisor.io_profile in
+  let g = hyp.Hypervisor.guest in
+  let machine = hyp.Hypervisor.machine in
+  if is_native hyp then
+    { gbps = wire_gbps; stream_normalized = 1.0; stream_bottleneck = "wire" }
+  else begin
+    (* The guest stack sees GRO aggregates either way (vhost passes GRO
+       through; xen-netfront GROs in the guest), but a copying backend
+       must move and grant every MTU frame individually — where KVM's
+       vhost hands whole aggregates to the guest ring. *)
+    let chunk_bytes = gro_aggregate * mtu in
+    let backend_segs = if p.Io_profile.zero_copy then 1 else gro_aggregate in
+    (* Events coalesce heavily under load: charge a fifth of a delivery
+       per chunk. *)
+    let guest_chunk =
+      g.Kernel_costs.softirq_rx + g.Kernel_costs.tcp_rx
+      + (gro_aggregate * p.Io_profile.guest_rx_per_packet)
+      + (p.Io_profile.irq_delivery_guest_cpu / 5)
+    in
+    let backend_chunk =
+      (backend_segs * p.Io_profile.backend_cpu_per_packet)
+      + (backend_segs * p.Io_profile.rx_grant_per_packet)
+      + int_of_float (p.Io_profile.rx_copy_per_byte *. float_of_int chunk_bytes)
+    in
+    let bounds =
+      [
+        ("guest", rate_gbps machine ~cycles_per_chunk:guest_chunk ~chunk_bytes);
+        ( "backend",
+          rate_gbps machine ~cycles_per_chunk:backend_chunk ~chunk_bytes );
+      ]
+    in
+    let name, best =
+      List.fold_left
+        (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+        ("wire", wire_gbps) bounds
+    in
+    { gbps = best; stream_normalized = wire_gbps /. best; stream_bottleneck = name }
+  end
+
+(* Bulk transmit. The guest's TCP autosizing sets the in-flight window;
+   the 4.0-rc1 regression collapses it when completion latency is high
+   (Xen), so throughput is window/RTT-bound. With a healthy window,
+   64 KB TSO chunks flow and even Xen's page-granular grant copies keep
+   up with the wire. *)
+let tcp_maerts ?tso_bug (hyp : Hypervisor.t) =
+  let p = hyp.Hypervisor.io_profile in
+  let g = hyp.Hypervisor.guest in
+  let machine = hyp.Hypervisor.machine in
+  if is_native hyp then
+    { gbps = wire_gbps; stream_normalized = 1.0; stream_bottleneck = "wire" }
+  else begin
+    let guest =
+      match tso_bug with
+      | None -> g
+      | Some true -> { g with Kernel_costs.tso_autosizing_bug = true }
+      | Some false -> { g with Kernel_costs.tso_autosizing_bug = false }
+    in
+    (* The completion-latency signal feeding autosizing: only a slow
+       (cross-domain) completion path triggers the collapse. *)
+    let completion_latency =
+      p.Io_profile.notify_latency + p.Io_profile.irq_delivery_latency
+    in
+    let batch =
+      if completion_latency > 20_000 then
+        Kernel_costs.tx_batch guest ~mtu_packets:gro_aggregate
+      else gro_aggregate
+    in
+    let window_bytes = batch * mtu in
+    let hz = Machine.freq_ghz machine *. 1e9 in
+    let rtt_cycles =
+      (2 * wire_cycles) + completion_latency
+      + Kernel_costs.rr_server_cycles guest / 4
+    in
+    let window_gbps =
+      float_of_int window_bytes /. (float_of_int rtt_cycles /. hz) *. 8.0 /. 1e9
+    in
+    let chunk_bytes = batch * mtu in
+    let pages = (chunk_bytes + 4095) / 4096 in
+    let backend_chunk =
+      p.Io_profile.backend_cpu_per_packet
+      + (pages * p.Io_profile.tx_grant_per_packet)
+      + int_of_float (p.Io_profile.tx_copy_per_byte *. float_of_int chunk_bytes)
+    in
+    let guest_chunk =
+      g.Kernel_costs.tcp_tx
+      + (batch * p.Io_profile.guest_tx_per_packet)
+      + (p.Io_profile.kick_guest_cpu / 2)
+    in
+    let bounds =
+      [
+        ("window", window_gbps);
+        ( "backend",
+          rate_gbps machine ~cycles_per_chunk:backend_chunk ~chunk_bytes );
+        ("guest", rate_gbps machine ~cycles_per_chunk:guest_chunk ~chunk_bytes);
+      ]
+    in
+    let stream_bottleneck, gbps = pick_bound bounds in
+    { gbps; stream_normalized = wire_gbps /. gbps; stream_bottleneck }
+  end

@@ -1,0 +1,57 @@
+(** The three Netperf configurations of Table IV, including the full
+    TCP_RR latency decomposition of Table V.
+
+    TCP_RR is simulated transaction-by-transaction as a discrete-event
+    run with tcpdump-style timestamps at the physical data-link layer and
+    inside the VM ({!Armvirt_net.Packet} stamps) — the methodology of
+    section V: "we analyzed the behavior of TCP_RR in further detail by
+    using tcpdump to capture timestamps on incoming and outgoing packets".
+
+    TCP_STREAM and TCP_MAERTS are bulk-throughput bottleneck analyses:
+    receive (STREAM) is bound by the cheapest of wire, guest stack and
+    backend copy rate; transmit (MAERTS) additionally honours the TCP
+    window collapse caused by the Linux 4.0-rc1 TSO autosizing regression
+    (section V, ref 19). *)
+
+type rr_result = {
+  transactions : int;
+  time_per_trans_us : float;
+  trans_per_sec : float;
+  overhead_us : float;  (** vs the native transaction on the same machine. *)
+  send_to_recv_us : float;
+      (** Server physical send → next request at the server's physical
+          driver: wire + client turnaround (+ Dom0 wake-up for Xen). *)
+  recv_to_send_us : float;  (** Whole server-side residence time. *)
+  recv_to_vm_recv_us : float option;  (** Virtualized configs only. *)
+  vm_recv_to_vm_send_us : float option;
+  vm_send_to_send_us : float option;
+  normalized : float;  (** time/trans vs native — Figure 4's TCP_RR bar. *)
+}
+
+val run_tcp_rr :
+  ?transactions:int -> Armvirt_hypervisor.Hypervisor.t -> rr_result
+(** [transactions] defaults to 400. Runs inside a fresh simulation pass
+    on the hypervisor's machine. *)
+
+type stream_result = {
+  gbps : float;
+  stream_normalized : float;  (** native gbps / achieved gbps (≥ 1). *)
+  stream_bottleneck : string;  (** "wire", "guest", "backend" or "window". *)
+}
+
+val tcp_stream :
+  ?wire_gbps:float -> Armvirt_hypervisor.Hypervisor.t -> stream_result
+(** Client → VM bulk receive. [wire_gbps] defaults to the 10 GbE
+    payload rate; pass ~1.0 to reproduce the paper's observation that
+    "many benchmarks were unaffected by virtualization when run over
+    1 Gb Ethernet, because the network itself became the bottleneck"
+    (section III). *)
+
+val tcp_maerts :
+  ?tso_bug:bool -> Armvirt_hypervisor.Hypervisor.t -> stream_result
+(** VM → client bulk transmit. [tso_bug] defaults to the guest kernel's
+    flag (true for the paper's 4.0-rc4); pass [false] for the
+    tuned-guest ablation the paper verified. *)
+
+val wire_gbps : float
+(** Achievable TCP payload rate of the 10 GbE link (9.42 Gb/s). *)

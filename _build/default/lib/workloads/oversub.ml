@@ -1,0 +1,74 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Credit_sched = Armvirt_hypervisor.Credit_sched
+
+type result = {
+  vms : int;
+  timeslice_ms : float;
+  context_switches : int;
+  switch_cost_cycles : int;
+  makespan_ms : float;
+  ideal_ms : float;
+  overhead_pct : float;
+}
+
+let guest_pcpus = 4
+
+(* Measure the hypervisor's VM Switch cost once, in-simulation. *)
+let vm_switch_cost (hyp : Hypervisor.t) =
+  let sim = Machine.sim hyp.Hypervisor.machine in
+  let cost = ref 0 in
+  Sim.spawn sim ~name:"switch-probe" (fun () ->
+      let t0 = Sim.current_time () in
+      hyp.Hypervisor.vm_switch ();
+      cost := Cycles.to_int (Cycles.sub (Sim.current_time ()) t0));
+  Sim.run sim;
+  !cost
+
+let run (hyp : Hypervisor.t) ~vms ~timeslice_ms ~work_ms_per_vcpu =
+  if vms < 1 then invalid_arg "Oversub.run: vms < 1";
+  if timeslice_ms <= 0.0 || work_ms_per_vcpu <= 0.0 then
+    invalid_arg "Oversub.run: non-positive duration";
+  let freq = Machine.freq_ghz hyp.Hypervisor.machine *. 1e9 in
+  let cycles_of_ms ms = int_of_float (ms *. freq /. 1e3) in
+  let switch_cost_cycles = vm_switch_cost hyp in
+  let sched =
+    Credit_sched.create ~num_pcpus:guest_pcpus
+      ~timeslice_cycles:(cycles_of_ms timeslice_ms)
+  in
+  let work = cycles_of_ms work_ms_per_vcpu in
+  let jobs =
+    List.concat_map
+      (fun dom ->
+        List.init guest_pcpus (fun index ->
+            let vcpu = { Credit_sched.dom; index } in
+            Credit_sched.add_vcpu sched vcpu ~affinity:index;
+            (vcpu, work)))
+      (List.init vms Fun.id)
+  in
+  let makespan_cycles, context_switches =
+    Credit_sched.run_to_completion sched ~work:jobs
+      ~switch_cost:switch_cost_cycles
+  in
+  let to_ms c = float_of_int c /. freq *. 1e3 in
+  let ideal_ms = float_of_int vms *. work_ms_per_vcpu in
+  let makespan_ms = to_ms makespan_cycles in
+  {
+    vms;
+    timeslice_ms;
+    context_switches;
+    switch_cost_cycles;
+    makespan_ms;
+    ideal_ms;
+    overhead_pct = (makespan_ms -. ideal_ms) /. ideal_ms *. 100.0;
+  }
+
+let sweep hyp ~vms ~timeslices_ms ~work_ms_per_vcpu =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun slice -> run hyp ~vms:n ~timeslice_ms:slice ~work_ms_per_vcpu)
+        timeslices_ms)
+    vms

@@ -1,0 +1,34 @@
+(** Oversubscription ablation: what the VM Switch microbenchmark costs
+    at application level.
+
+    Table I calls VM Switch "a central cost when oversubscribing
+    physical CPUs", but the paper never oversubscribes (every VCPU gets
+    a dedicated PCPU). This experiment completes the thought: stack
+    [vms] CPU-bound 4-VCPU VMs onto the 4 guest PCPUs under the credit
+    scheduler and charge each context switch the hypervisor's measured
+    VM Switch cost. *)
+
+type result = {
+  vms : int;
+  timeslice_ms : float;
+  context_switches : int;
+  switch_cost_cycles : int;  (** The hypervisor's Table II VM Switch. *)
+  makespan_ms : float;
+  ideal_ms : float;  (** Perfect sharing with free switches. *)
+  overhead_pct : float;
+}
+
+val run :
+  Armvirt_hypervisor.Hypervisor.t ->
+  vms:int ->
+  timeslice_ms:float ->
+  work_ms_per_vcpu:float ->
+  result
+(** Raises [Invalid_argument] for non-positive parameters. *)
+
+val sweep :
+  Armvirt_hypervisor.Hypervisor.t ->
+  vms:int list ->
+  timeslices_ms:float list ->
+  work_ms_per_vcpu:float ->
+  result list

@@ -1,0 +1,34 @@
+(** Virtual-timer tick overhead: section II's last architectural wrinkle
+    made measurable.
+
+    "ARM provides a virtual timer, which can be configured by the VM
+    without trapping to the hypervisor. However, when the virtual timer
+    fires, it raises a physical interrupt, which must be handled by the
+    hypervisor and translated into a virtual interrupt." So every guest
+    timer tick costs a full exit/inject/enter round — a tax proportional
+    to the guest's HZ. The experiment runs a periodic guest tick through
+    the real {!Armvirt_timer.Arch_timer} (re-armed from the expiry
+    handler, as a clockevent device would) and reports the fraction of
+    a VCPU the tick machinery consumes at several tick rates. *)
+
+type result = {
+  config : string;
+  tick_hz : int;
+  ticks : int;  (** Ticks simulated (over one simulated second). *)
+  cycles_per_tick : int;
+      (** Hypervisor translation + injection + guest completion. *)
+  cpu_overhead_pct : float;
+      (** Fraction of one VCPU consumed by tick handling. *)
+}
+
+val run :
+  ?tick_hz:int ->
+  ?simulated_ms:int ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  result
+(** [tick_hz] defaults to 250 (the paper kernels' CONFIG_HZ);
+    [simulated_ms] to 100. Raises [Invalid_argument] on non-positive
+    arguments. *)
+
+val sweep :
+  Armvirt_hypervisor.Hypervisor.t -> hz:int list -> result list

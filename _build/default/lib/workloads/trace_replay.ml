@@ -1,0 +1,120 @@
+module Rng = Armvirt_engine.Rng
+module Summary = Armvirt_stats.Summary
+module Machine = Armvirt_arch.Machine
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Io_profile = Armvirt_hypervisor.Io_profile
+
+type request_class = {
+  class_name : string;
+  weight : float;
+  cpu_cycles : int;
+  rx_packets : int;
+  tx_packets_mean : float;
+  response_bytes_mean : float;
+}
+
+let web_mix =
+  [
+    {
+      class_name = "static";
+      weight = 0.6;
+      cpu_cycles = 120_000;
+      rx_packets = 2;
+      tx_packets_mean = 8.0;
+      response_bytes_mean = 11_000.0;
+    };
+    {
+      class_name = "api";
+      weight = 0.35;
+      cpu_cycles = 400_000;
+      rx_packets = 2;
+      tx_packets_mean = 2.0;
+      response_bytes_mean = 2_000.0;
+    };
+    {
+      class_name = "upload";
+      weight = 0.05;
+      cpu_cycles = 900_000;
+      rx_packets = 40;
+      tx_packets_mean = 2.0;
+      response_bytes_mean = 500.0;
+    };
+  ]
+
+type result = {
+  replayed : int;
+  per_class : (string * int * float) list;
+  added_cpu_pct : float;
+  p99_added_us : float;
+}
+
+let pick_class rng mix =
+  let total = List.fold_left (fun acc c -> acc +. c.weight) 0.0 mix in
+  let target = Rng.float rng ~bound:total in
+  let rec go acc = function
+    | [ last ] -> last
+    | c :: rest -> if acc +. c.weight >= target then c else go (acc +. c.weight) rest
+    | [] -> assert false
+  in
+  go 0.0 mix
+
+(* The virtualization surcharge of one request, in cycles. *)
+let request_surcharge rng (p : Io_profile.t) cls =
+  let tx_packets =
+    int_of_float
+      (Float.round (Rng.pareto rng ~scale:(cls.tx_packets_mean /. 2.0) ~shape:1.5))
+    |> Stdlib.max 1
+  in
+  let bytes =
+    int_of_float (float_of_int tx_packets *. cls.response_bytes_mean
+                  /. Float.max 1.0 cls.tx_packets_mean)
+  in
+  let irqs = 1 + ((cls.rx_packets + tx_packets) / 8) in
+  (irqs * (p.Io_profile.irq_delivery_guest_cpu + p.Io_profile.virq_completion))
+  + ((cls.rx_packets + tx_packets + 7) / 8 * p.Io_profile.kick_guest_cpu)
+  + (cls.rx_packets * p.Io_profile.guest_rx_per_packet)
+  + (tx_packets * p.Io_profile.guest_tx_per_packet)
+  + (tx_packets * Io_profile.total_tx_packet_cost p ~bytes:(bytes / tx_packets))
+  + (cls.rx_packets * Io_profile.total_rx_packet_cost p ~bytes:200)
+
+let run ?(seed = 11) ?(requests = 2_000) ?(mix = web_mix) (hyp : Hypervisor.t) =
+  if requests < 1 then invalid_arg "Trace_replay.run: requests < 1";
+  if mix = [] then invalid_arg "Trace_replay.run: empty mix";
+  let rng = Rng.create ~seed in
+  let p = hyp.Hypervisor.io_profile in
+  let freq = Machine.freq_ghz hyp.Hypervisor.machine *. 1e9 in
+  let per_class : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let native_cycles = ref 0.0 in
+  let added = ref [] in
+  for _ = 1 to requests do
+    let cls = pick_class rng mix in
+    let surcharge = request_surcharge rng p cls in
+    native_cycles := !native_cycles +. float_of_int cls.cpu_cycles;
+    let us = float_of_int surcharge /. freq *. 1e6 in
+    added := us :: !added;
+    let count, sum =
+      match Hashtbl.find_opt per_class cls.class_name with
+      | Some entry -> entry
+      | None ->
+          let entry = (ref 0, ref 0.0) in
+          Hashtbl.replace per_class cls.class_name entry;
+          entry
+    in
+    incr count;
+    sum := !sum +. us
+  done;
+  let summary = Summary.of_list !added in
+  let total_added_cycles =
+    List.fold_left (fun acc us -> acc +. (us *. freq /. 1e6)) 0.0 !added
+  in
+  {
+    replayed = requests;
+    per_class =
+      Hashtbl.fold
+        (fun name (count, sum) acc ->
+          (name, !count, !sum /. float_of_int !count) :: acc)
+        per_class []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b);
+    added_cpu_pct = total_added_cycles /. !native_cycles *. 100.0;
+    p99_added_us = Summary.percentile summary 99.0;
+  }

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Armvirt_arch Armvirt_engine Armvirt_stats List QCheck QCheck_alcotest

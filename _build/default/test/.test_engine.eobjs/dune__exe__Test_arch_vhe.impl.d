@@ -1,0 +1,1 @@
+test/test_arch_vhe.ml: Alcotest Armvirt_arch Armvirt_core List

@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Armvirt_core Armvirt_workloads Lazy List Option Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Armvirt Armvirt_arch Armvirt_core Armvirt_hypervisor Buffer Float Format List Option String

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Armvirt_core Armvirt_engine Armvirt_hypervisor Armvirt_net Armvirt_stats Armvirt_workloads Float Fun Gen Int List Option Printf QCheck QCheck_alcotest

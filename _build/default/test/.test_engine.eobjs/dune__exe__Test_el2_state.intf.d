@@ -1,0 +1,1 @@
+test/test_el2_state.mli:

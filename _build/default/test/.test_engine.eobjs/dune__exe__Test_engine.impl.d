@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Armvirt_engine Array Format Fun Gen Int List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_esr.ml: Alcotest Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_stats List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Armvirt_core Armvirt_engine Armvirt_hypervisor Armvirt_io Armvirt_stats Armvirt_workloads Float Fun List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gic.ml: Alcotest Armvirt_gic Int List QCheck QCheck_alcotest

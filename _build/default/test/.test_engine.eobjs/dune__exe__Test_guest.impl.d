@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Armvirt_guest

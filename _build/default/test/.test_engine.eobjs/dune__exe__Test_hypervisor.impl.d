@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Armvirt_arch Armvirt_engine Armvirt_hypervisor Armvirt_mem Armvirt_stats Float List

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Armvirt_io Armvirt_mem Fun Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Armvirt_mem Format Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model_based.ml: Alcotest Armvirt_arch Armvirt_gic Armvirt_hypervisor Armvirt_io Array Gen Hashtbl List Printf QCheck QCheck_alcotest Stdlib

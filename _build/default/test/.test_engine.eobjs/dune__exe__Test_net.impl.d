@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Armvirt_arch Armvirt_engine Armvirt_net List

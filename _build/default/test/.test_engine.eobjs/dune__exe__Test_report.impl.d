@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Armvirt_core Buffer Format List Printf String

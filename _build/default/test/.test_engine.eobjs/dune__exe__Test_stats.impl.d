@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Armvirt_arch Armvirt_engine Armvirt_stats Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Armvirt_core Armvirt_io Armvirt_system Armvirt_workloads Float List Option Printf

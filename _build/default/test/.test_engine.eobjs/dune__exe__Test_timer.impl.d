@@ -1,0 +1,1 @@
+test/test_timer.ml: Alcotest Armvirt_engine Armvirt_timer Option

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Armvirt_core Armvirt_engine Armvirt_stats Armvirt_workloads Float List Option String

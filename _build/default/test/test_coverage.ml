@@ -1,0 +1,319 @@
+(* Coverage expansion: behaviours the per-library suites leave
+   unexercised — x86 Netperf, shared-pinning microbenchmarks, VHE
+   variants of the trap benchmarks, GICv3 machines under Xen, sweep
+   shapes, and extra properties on the leaf data structures. *)
+
+module Cycles = Armvirt_engine.Cycles
+module Sim = Armvirt_engine.Sim
+module Summary = Armvirt_stats.Summary
+module Platform = Armvirt_core.Platform
+module Experiment = Armvirt_core.Experiment
+module H = Armvirt_hypervisor
+module W = Armvirt_workloads
+module Netperf = W.Netperf
+
+(* --- Netperf on x86 ------------------------------------------------------- *)
+
+let test_rr_x86 () =
+  let native = Netperf.run_tcp_rr ~transactions:50 (Platform.native X86_r320) in
+  let kvm =
+    Netperf.run_tcp_rr ~transactions:50 (Platform.hypervisor X86_r320 Kvm)
+  in
+  let xen =
+    Netperf.run_tcp_rr ~transactions:50 (Platform.hypervisor X86_r320 Xen)
+  in
+  (* Cycle constants are shared; at 2.1 GHz the native transaction is
+     proportionally longer than ARM's 41.8 us. *)
+  Alcotest.(check bool) "native ~47.8us at 2.1GHz" true
+    (Float.abs (native.Netperf.time_per_trans_us -. (100_320.0 /. 2100.0))
+    < 0.5);
+  Alcotest.(check bool) "KVM x86 roughly doubles" true
+    (kvm.Netperf.normalized > 1.5 && kvm.Netperf.normalized < 2.2);
+  Alcotest.(check bool) "Xen x86 worse than KVM x86" true
+    (xen.Netperf.normalized > kvm.Netperf.normalized)
+
+let test_stream_x86 () =
+  let kvm = Netperf.tcp_stream (Platform.hypervisor X86_r320 Kvm) in
+  let xen = Netperf.tcp_stream (Platform.hypervisor X86_r320 Xen) in
+  Alcotest.(check bool) "KVM x86 at line rate" true
+    (kvm.Netperf.stream_normalized < 1.05);
+  Alcotest.(check bool) "Xen x86 copy-bound" true
+    (xen.Netperf.stream_normalized > 2.0)
+
+(* --- Shared-pinning microbenchmarks ---------------------------------------- *)
+
+let test_xen_shared_pinning_full_suite () =
+  (* The trap-class benchmarks are pinning-independent; the I/O ones get
+     worse when Dom0 and the VM fight over PCPUs. *)
+  let rows pinning =
+    let xen = Platform.xen_arm ~pinning () in
+    W.Microbench.to_rows
+      (W.Microbench.run ~iterations:2 (H.Xen_arm.to_hypervisor xen))
+  in
+  let sep = rows H.Xen_arm.Separate and shared = rows H.Xen_arm.Shared in
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " unaffected by pinning")
+        (List.assoc name sep) (List.assoc name shared))
+    [ "Hypercall"; "Interrupt Controller Trap"; "Virtual IRQ Completion" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " worse when shared")
+        true
+        (List.assoc name shared > List.assoc name sep))
+    [ "I/O Latency Out"; "I/O Latency In" ]
+
+(* --- VHE variants of every microbenchmark ----------------------------------- *)
+
+let test_vhe_full_suite_ordering () =
+  let vhe =
+    W.Microbench.to_rows
+      (W.Microbench.run ~iterations:2 (Platform.hypervisor Arm_m400_vhe Kvm))
+  in
+  let split =
+    W.Microbench.to_rows
+      (W.Microbench.run ~iterations:2 (Platform.hypervisor Arm_m400 Kvm))
+  in
+  List.iter
+    (fun (name, split_cycles) ->
+      let vhe_cycles = List.assoc name vhe in
+      Alcotest.(check bool)
+        (name ^ ": VHE never slower")
+        true (vhe_cycles <= split_cycles))
+    split;
+  Alcotest.(check int) "completion identical (hardware both ways)" 71
+    (List.assoc "Virtual IRQ Completion" vhe)
+
+(* --- GICv3 machine under Xen ------------------------------------------------ *)
+
+let test_gicv3_xen_vm_switch_cheaper () =
+  (* Xen's VM switch pays the VGIC save; on GICv3 it collapses. *)
+  let rows = Experiment.gicv3 () in
+  let v2 = List.assoc "Xen, GICv2 (measured)" rows in
+  let v3 = List.assoc "Xen, GICv3" rows in
+  Alcotest.(check bool) "VM switch much cheaper on GICv3" true
+    (List.assoc "VM Switch" v3 < List.assoc "VM Switch" v2 - 2500);
+  Alcotest.(check bool) "vIPI cheaper too" true
+    (List.assoc "Virtual IPI" v3 < List.assoc "Virtual IPI" v2)
+
+(* --- vAPIC what-if ------------------------------------------------------------ *)
+
+let test_vapic_closes_eoi_gap () =
+  let rows = Experiment.vapic () in
+  let eoi label = List.assoc "Virtual IRQ Completion" (List.assoc label rows) in
+  Alcotest.(check int) "stock KVM x86 traps" 1556 (eoi "KVM x86 (E5-2450, no vAPIC)");
+  Alcotest.(check int) "vAPIC reaches ARM's 71" 71 (eoi "KVM x86 + vAPIC");
+  Alcotest.(check int) "same for Xen" 71 (eoi "Xen x86 + vAPIC");
+  (* Everything else is untouched by vAPIC. *)
+  Alcotest.(check int) "hypercall unchanged"
+    (List.assoc "Hypercall" (List.assoc "KVM x86 (E5-2450, no vAPIC)" rows))
+    (List.assoc "Hypercall" (List.assoc "KVM x86 + vAPIC" rows));
+  List.iter
+    (fun (w, stock, vapic) ->
+      Alcotest.(check bool) (w ^ " no worse with vAPIC") true (vapic <= stock))
+    (Experiment.vapic_apps ())
+
+(* --- Crosscall ----------------------------------------------------------------- *)
+
+let test_crosscall_ordering () =
+  let rows = Experiment.crosscall () in
+  let latency config =
+    (List.find (fun r -> r.W.Crosscall.config = config) rows)
+      .W.Crosscall.latency_cycles
+  in
+  Alcotest.(check bool) "native cheapest" true
+    (latency "Native" < latency "Xen ARM"
+    && latency "Native" < latency "KVM ARM");
+  Alcotest.(check bool) "split-mode KVM dearest on ARM" true
+    (latency "KVM ARM" > latency "Xen ARM");
+  Alcotest.(check bool) "VHE recovers most of it" true
+    (latency "KVM ARM (VHE)" < latency "Xen ARM");
+  (* The broadcast-TLBI alternative exists on ARM only and is cheap. *)
+  List.iter
+    (fun r ->
+      match r.W.Crosscall.arm_tlbi_alternative with
+      | Some c ->
+          Alcotest.(check bool) "TLBI beats every IPI broadcast" true
+            (c < r.W.Crosscall.latency_cycles)
+      | None ->
+          Alcotest.(check bool) "x86 rows have no TLBI" true
+            (r.W.Crosscall.config = "KVM x86" || r.W.Crosscall.config = "Xen x86"))
+    rows
+
+(* --- Multiqueue ------------------------------------------------------------------- *)
+
+let test_multiqueue_monotone () =
+  let groups = Experiment.multiqueue () in
+  List.iter
+    (fun (name, cells) ->
+      let values = List.map snd cells in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a +. 1e-9 >= b && non_increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (name ^ " monotone in queues") true
+        (non_increasing values);
+      (* Spread 1 and 4 coincide with the named modes. *)
+      let apache = Option.get (W.Workload.find "Apache") in
+      let hyp =
+        Platform.hypervisor Arm_m400
+          (if name = "KVM ARM" then Platform.Kvm else Platform.Xen)
+      in
+      let named mode = (W.App_model.run ~irq_distribution:mode apache hyp).W.App_model.normalized in
+      Alcotest.(check (float 1e-9)) (name ^ " Spread 1 = Single_vcpu")
+        (named W.App_model.Single_vcpu)
+        (List.assoc 1 cells);
+      Alcotest.(check (float 1e-9)) (name ^ " Spread 4 = All_vcpus")
+        (named W.App_model.All_vcpus)
+        (List.assoc 4 cells))
+    groups;
+  Alcotest.check_raises "Spread bounds"
+    (Invalid_argument "App_model.run: Spread outside 1-4") (fun () ->
+      ignore
+        (W.App_model.run ~irq_distribution:(W.App_model.Spread 5)
+           (Option.get (W.Workload.find "Apache"))
+           (Platform.hypervisor Arm_m400 Kvm)))
+
+let test_twodwalk_constants () =
+  match Experiment.twodwalk () with
+  | [ native; virt; vhe ] ->
+      Alcotest.(check int) "native 4" 4 native.Experiment.tw_walk_accesses;
+      Alcotest.(check int) "2D is 24" 24 virt.Experiment.tw_walk_accesses;
+      Alcotest.(check int) "VHE identical" 24 vhe.Experiment.tw_walk_accesses
+  | _ -> Alcotest.fail "expected three rows"
+
+(* --- Sweep shapes ---------------------------------------------------------------- *)
+
+let test_oversub_sweep_shape () =
+  let hyp = Platform.hypervisor Arm_m400 Kvm in
+  let rows =
+    W.Oversub.sweep hyp ~vms:[ 1; 2 ] ~timeslices_ms:[ 1.0; 10.0 ]
+      ~work_ms_per_vcpu:20.0
+  in
+  Alcotest.(check int) "cartesian product" 4 (List.length rows);
+  List.iter
+    (fun (r : W.Oversub.result) ->
+      Alcotest.(check bool) "overhead non-negative" true
+        (r.W.Oversub.overhead_pct >= 0.0))
+    rows
+
+let test_lrs_sweep_order_preserved () =
+  let hyp = Platform.hypervisor Arm_m400 Xen in
+  let rows = W.Lr_sensitivity.sweep hyp ~lrs:[ 2; 4 ] ~burst_size:6 ~bursts:10 in
+  Alcotest.(check (list int)) "sweep order follows input" [ 2; 4 ]
+    (List.map (fun r -> r.W.Lr_sensitivity.num_lrs) rows)
+
+(* --- Tail latency load monotonicity ----------------------------------------------- *)
+
+let test_tail_monotone_in_load () =
+  let at load =
+    (W.Tail_latency.run ~requests:300 (Platform.hypervisor Arm_m400 Kvm) ~load)
+      .W.Tail_latency.p99_us
+  in
+  let low = at 0.2 and mid = at 0.4 in
+  Alcotest.(check bool) "queueing grows with load" true (mid > low)
+
+(* --- Coldstart scales linearly ------------------------------------------------------ *)
+
+let test_coldstart_linear_in_pages () =
+  let run pages =
+    (W.Coldstart.run (Platform.hypervisor Arm_m400 Kvm) ~pages).W.Coldstart.total_ms
+  in
+  let small = run 256 and big = run 1024 in
+  Alcotest.(check bool) "4x pages ~ 4x time" true
+    (Float.abs ((big /. small) -. 4.0) < 0.2)
+
+(* --- Leaf-structure properties ------------------------------------------------------- *)
+
+let prop_summary_matches_sorted_reference =
+  QCheck.Test.make ~name:"summary median equals sorted middle"
+    QCheck.(list_of_size (Gen.int_range 1 99) (float_bound_inclusive 1e6))
+    (fun values ->
+      let s = Summary.of_list values in
+      let sorted = List.sort Float.compare values in
+      let n = List.length sorted in
+      let reference =
+        if n mod 2 = 1 then List.nth sorted (n / 2)
+        else
+          (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+      in
+      Float.abs (Summary.median s -. reference) < 1e-6)
+
+let prop_packet_stamps_sorted =
+  QCheck.Test.make ~name:"packet stamps come back chronologically"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 1000))
+    (fun delays ->
+      let sim = Sim.create () in
+      let pkt = Armvirt_net.Packet.create ~id:1 () in
+      Sim.spawn sim ~name:"stamper" (fun () ->
+          List.iteri
+            (fun i d ->
+              Sim.delay (Cycles.of_int d);
+              Armvirt_net.Packet.stamp pkt (Printf.sprintf "s%d" i))
+            delays);
+      Sim.run sim;
+      let times =
+        List.map (fun (_, t) -> Cycles.to_int t) (Armvirt_net.Packet.stamps pkt)
+      in
+      times = List.sort Int.compare times)
+
+let prop_link_preserves_order =
+  QCheck.Test.make ~name:"link deliveries preserve send order"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 1400))
+    (fun sizes ->
+      let sim = Sim.create () in
+      let link = Armvirt_net.Link.ten_gbe sim ~freq_ghz:2.4 in
+      let received = ref [] in
+      Sim.spawn sim ~name:"sender" (fun () ->
+          List.iteri
+            (fun i payload ->
+              Armvirt_net.Link.send link
+                (Armvirt_net.Packet.create ~payload ~id:i ())
+                ~deliver:(fun p ->
+                  received := Armvirt_net.Packet.id p :: !received))
+            sizes);
+      Sim.run sim;
+      List.rev !received = List.init (List.length sizes) Fun.id)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "coverage"
+    [
+      ( "netperf_x86",
+        [
+          Alcotest.test_case "TCP_RR" `Quick test_rr_x86;
+          Alcotest.test_case "TCP_STREAM" `Quick test_stream_x86;
+        ] );
+      ( "configurations",
+        [
+          Alcotest.test_case "shared pinning full suite" `Quick
+            test_xen_shared_pinning_full_suite;
+          Alcotest.test_case "VHE full suite ordering" `Quick
+            test_vhe_full_suite_ordering;
+          Alcotest.test_case "GICv3 under Xen" `Quick
+            test_gicv3_xen_vm_switch_cheaper;
+          Alcotest.test_case "vAPIC closes the EOI gap" `Quick
+            test_vapic_closes_eoi_gap;
+          Alcotest.test_case "crosscall ordering" `Quick test_crosscall_ordering;
+          Alcotest.test_case "multiqueue monotone" `Quick test_multiqueue_monotone;
+          Alcotest.test_case "2D walk constants" `Quick test_twodwalk_constants;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "oversub shape" `Quick test_oversub_sweep_shape;
+          Alcotest.test_case "lrs order" `Quick test_lrs_sweep_order_preserved;
+          Alcotest.test_case "tail monotone in load" `Quick
+            test_tail_monotone_in_load;
+          Alcotest.test_case "coldstart linear" `Quick
+            test_coldstart_linear_in_pages;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_summary_matches_sorted_reference;
+            prop_packet_stamps_sorted;
+            prop_link_preserves_order;
+          ] );
+    ]

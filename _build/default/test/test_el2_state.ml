@@ -1,0 +1,255 @@
+(* Tests for the EL2 world state machine, both standalone and as
+   integrated into the hypervisor models. *)
+
+module Sim = Armvirt_engine.Sim
+module Machine = Armvirt_arch.Machine
+module Cost_model = Armvirt_arch.Cost_model
+module El2_state = Armvirt_arch.El2_state
+module H = Armvirt_hypervisor
+
+let check_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_transition" what
+  | exception El2_state.Invalid_transition _ -> ()
+
+(* --- standalone -------------------------------------------------------- *)
+
+let test_split_mode_discipline () =
+  let w = El2_state.create El2_state.Split_mode in
+  Alcotest.(check bool) "boots with host EL1" true
+    (El2_state.el1_owner w = El2_state.Host);
+  Alcotest.(check bool) "virtualization disarmed" false
+    (El2_state.stage2_enabled w);
+  (* The legal way into a VM. *)
+  El2_state.exit_to_el2 w;
+  El2_state.enable_virtualization w;
+  El2_state.load_el1 w (El2_state.Vm 1);
+  El2_state.enter_vm w ~domid:1;
+  Alcotest.(check bool) "VM 1 running" true (El2_state.running_vm w = Some 1);
+  (* And back out. *)
+  El2_state.exit_to_el2 w;
+  El2_state.load_el1 w El2_state.Host;
+  El2_state.disable_virtualization w;
+  El2_state.run_host w;
+  Alcotest.(check bool) "host again" true (El2_state.running_vm w = None)
+
+let test_split_mode_violations () =
+  (* Running the host with a VM's state loaded. *)
+  let w = El2_state.create El2_state.Split_mode in
+  El2_state.exit_to_el2 w;
+  El2_state.enable_virtualization w;
+  El2_state.load_el1 w (El2_state.Vm 1);
+  check_invalid "run_host with VM EL1" (fun () -> El2_state.run_host w);
+  (* Entering a VM whose state is not loaded. *)
+  check_invalid "enter wrong VM" (fun () -> El2_state.enter_vm w ~domid:2);
+  (* Disabling stage-2 while a VM's EL1 state is live would expose it. *)
+  check_invalid "disable with VM state" (fun () ->
+      El2_state.disable_virtualization w);
+  (* Context switching under a running VM. *)
+  El2_state.enter_vm w ~domid:1;
+  check_invalid "load_el1 while VM runs" (fun () ->
+      El2_state.load_el1 w El2_state.Host)
+
+let test_split_mode_unprotected_vm () =
+  let w = El2_state.create El2_state.Split_mode in
+  El2_state.exit_to_el2 w;
+  El2_state.load_el1 w (El2_state.Vm 1);
+  (* Stage-2 and traps still off: the VM would own the machine. *)
+  check_invalid "enter_vm unprotected" (fun () -> El2_state.enter_vm w ~domid:1)
+
+let test_el2_resident_discipline () =
+  let w = El2_state.create El2_state.El2_resident in
+  Alcotest.(check bool) "boots with the idle domain" true
+    (El2_state.el1_owner w = El2_state.Vm (-1));
+  Alcotest.(check bool) "always armed" true
+    (El2_state.stage2_enabled w && El2_state.traps_enabled w);
+  (* A Type 1 hypervisor never hosts an OS in EL1... *)
+  check_invalid "no host in EL1" (fun () ->
+      El2_state.load_el1 w El2_state.Host);
+  (* ...and never disarms. *)
+  check_invalid "never disarms" (fun () -> El2_state.disable_virtualization w);
+  (* Idle domain -> Dom0 switch. *)
+  El2_state.load_el1 w (El2_state.Vm 0);
+  El2_state.enter_vm w ~domid:0;
+  Alcotest.(check bool) "Dom0 running" true (El2_state.running_vm w = Some 0)
+
+let test_vhe_discipline () =
+  let w = El2_state.create El2_state.Vhe in
+  (* The VHE host is EL2 software: running it is always fine, and the
+     virtualization features never need toggling. *)
+  El2_state.run_host w;
+  check_invalid "no toggling under VHE" (fun () ->
+      El2_state.disable_virtualization w);
+  El2_state.load_el1 w (El2_state.Vm 1);
+  El2_state.enter_vm w ~domid:1;
+  El2_state.exit_to_el2 w;
+  El2_state.run_host w;
+  Alcotest.(check bool) "host back without EL1 switch" true
+    (El2_state.el1_owner w = El2_state.Vm 1)
+
+(* --- integrated -------------------------------------------------------- *)
+
+let arm_machine ?(vhe = false) () =
+  let sim = Sim.create () in
+  let cost =
+    Cost_model.Arm (if vhe then Cost_model.arm_vhe else Cost_model.arm_default)
+  in
+  Machine.create sim ~cost ~num_cpus:8
+
+let run_in machine f =
+  Sim.spawn (Machine.sim machine) ~name:"driver" f;
+  Sim.run (Machine.sim machine)
+
+let test_kvm_paths_respect_the_machine () =
+  let kvm = H.Kvm_arm.create (arm_machine ()) in
+  let m = H.Kvm_arm.machine kvm in
+  run_in m (fun () ->
+      H.Kvm_arm.hypercall kvm;
+      (* The hypercall returns with the VM executing again... *)
+      let w = H.Kvm_arm.world kvm ~pcpu:4 in
+      Alcotest.(check bool) "VM running after hypercall" true
+        (El2_state.running_vm w = Some 1);
+      Alcotest.(check bool) "virtualization armed" true
+        (El2_state.stage2_enabled w);
+      (* ...and a VM switch leaves the second VM in. *)
+      H.Kvm_arm.vm_switch kvm;
+      Alcotest.(check bool) "VM 2 running after switch" true
+        (El2_state.running_vm w = Some 2))
+
+let test_kvm_illegal_direct_entry () =
+  (* Pretending to run the host while the VM executes — the kind of
+     modelling bug the state machine exists to catch. *)
+  let kvm = H.Kvm_arm.create (arm_machine ()) in
+  let m = H.Kvm_arm.machine kvm in
+  let raised = ref false in
+  run_in m (fun () ->
+      H.Kvm_arm.hypercall kvm;
+      let w = H.Kvm_arm.world kvm ~pcpu:4 in
+      (match El2_state.run_host w with
+      | () -> ()
+      | exception El2_state.Invalid_transition _ -> raised := true);
+      (* And exiting, then claiming the host without switching EL1 or
+         disarming stage-2 must also raise. *)
+      El2_state.exit_to_el2 w;
+      match El2_state.run_host w with
+      | () -> Alcotest.fail "host ran on the VM's EL1 state"
+      | exception El2_state.Invalid_transition _ -> ());
+  Alcotest.(check bool) "caught" true !raised
+
+let test_xen_paths_respect_the_machine () =
+  let xen = H.Xen_arm.create (arm_machine ()) in
+  let m = H.Xen_arm.machine xen in
+  run_in m (fun () ->
+      H.Xen_arm.hypercall xen;
+      let w = H.Xen_arm.world xen ~pcpu:4 in
+      Alcotest.(check bool) "DomU running after hypercall" true
+        (El2_state.running_vm w = Some 1);
+      ignore (H.Xen_arm.io_latency_out xen);
+      (* The I/O-out path ends with Dom0 upcalled on its own PCPU. *)
+      let dom0_world = H.Xen_arm.world xen ~pcpu:0 in
+      Alcotest.(check bool) "Dom0 running after I/O out" true
+        (El2_state.running_vm dom0_world = Some 0))
+
+let test_vhe_paths_never_toggle () =
+  let kvm = H.Kvm_arm.create (arm_machine ~vhe:true ()) in
+  let m = H.Kvm_arm.machine kvm in
+  run_in m (fun () ->
+      H.Kvm_arm.hypercall kvm;
+      let w = H.Kvm_arm.world kvm ~pcpu:4 in
+      Alcotest.(check bool) "vhe mode" true (El2_state.mode w = El2_state.Vhe);
+      Alcotest.(check bool) "still armed" true (El2_state.stage2_enabled w))
+
+(* --- Vmx_state (the x86 sibling) ----------------------------------------- *)
+
+module Vmx_state = Armvirt_arch.Vmx_state
+
+let check_vmx_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_transition" what
+  | exception Vmx_state.Invalid_transition _ -> ()
+
+let test_vmx_discipline () =
+  let w = Vmx_state.create () in
+  Alcotest.(check bool) "boots in root mode" true (Vmx_state.mode w = Vmx_state.Root);
+  (* No VMCS, no entry. *)
+  check_vmx_invalid "entry without VMCS" (fun () -> Vmx_state.vmentry w);
+  Vmx_state.vmptrld w ~domid:1;
+  Vmx_state.vmentry w;
+  Alcotest.(check bool) "VM 1 running" true (Vmx_state.running_vm w = Some 1);
+  (* Hypervisor operations are illegal from non-root mode. *)
+  check_vmx_invalid "vmptrld from guest" (fun () -> Vmx_state.vmptrld w ~domid:2);
+  check_vmx_invalid "vmclear from guest" (fun () -> Vmx_state.vmclear w);
+  check_vmx_invalid "double entry" (fun () -> Vmx_state.vmentry w);
+  Vmx_state.vmexit w;
+  Alcotest.(check bool) "back in root" true (Vmx_state.mode w = Vmx_state.Root);
+  check_vmx_invalid "exit from root" (fun () -> Vmx_state.vmexit w);
+  (* Switching VMs replaces the current VMCS. *)
+  Vmx_state.vmclear w;
+  Vmx_state.vmptrld w ~domid:2;
+  Vmx_state.vmentry w;
+  Alcotest.(check bool) "VM 2 running" true (Vmx_state.running_vm w = Some 2)
+
+let test_vmx_integrated () =
+  let sim = Sim.create () in
+  let m =
+    Machine.create sim ~cost:(Cost_model.X86 Cost_model.x86_default)
+      ~num_cpus:8
+  in
+  let kvm = H.Kvm_x86.create m in
+  run_in m (fun () ->
+      H.Kvm_x86.hypercall kvm;
+      let w = H.Kvm_x86.world kvm ~pcpu:4 in
+      Alcotest.(check bool) "VM running after hypercall" true
+        (Vmx_state.running_vm w = Some 1);
+      H.Kvm_x86.vm_switch kvm;
+      Alcotest.(check bool) "VMCS swapped on VM switch" true
+        (Vmx_state.running_vm w = Some 2));
+  let sim = Sim.create () in
+  let m =
+    Machine.create sim ~cost:(Cost_model.X86 Cost_model.x86_default)
+      ~num_cpus:8
+  in
+  let xen = H.Xen_x86.create m in
+  run_in m (fun () ->
+      ignore (H.Xen_x86.io_latency_in xen);
+      let w = H.Xen_x86.world xen ~pcpu:4 in
+      Alcotest.(check bool) "DomU re-entered after I/O in" true
+        (Vmx_state.running_vm w = Some 1);
+      (* Dom0's PCPUs never hold a VMCS: Dom0 is PV. *)
+      Alcotest.(check bool) "Dom0 stays in root mode" true
+        (Vmx_state.current_vmcs (H.Xen_x86.world xen ~pcpu:0) = None))
+
+let () =
+  Alcotest.run "el2_state"
+    [
+      ( "standalone",
+        [
+          Alcotest.test_case "split-mode discipline" `Quick
+            test_split_mode_discipline;
+          Alcotest.test_case "split-mode violations" `Quick
+            test_split_mode_violations;
+          Alcotest.test_case "unprotected VM entry" `Quick
+            test_split_mode_unprotected_vm;
+          Alcotest.test_case "EL2-resident discipline" `Quick
+            test_el2_resident_discipline;
+          Alcotest.test_case "VHE discipline" `Quick test_vhe_discipline;
+        ] );
+      ( "integrated",
+        [
+          Alcotest.test_case "KVM paths legal" `Quick
+            test_kvm_paths_respect_the_machine;
+          Alcotest.test_case "illegal direct entry caught" `Quick
+            test_kvm_illegal_direct_entry;
+          Alcotest.test_case "Xen paths legal" `Quick
+            test_xen_paths_respect_the_machine;
+          Alcotest.test_case "VHE never toggles" `Quick
+            test_vhe_paths_never_toggle;
+        ] );
+      ( "vmx",
+        [
+          Alcotest.test_case "root/non-root discipline" `Quick
+            test_vmx_discipline;
+          Alcotest.test_case "integrated into x86 models" `Quick
+            test_vmx_integrated;
+        ] );
+    ]

@@ -1,0 +1,372 @@
+(* Tests for Armvirt_engine: cycles arithmetic, the event heap, the
+   effect-based simulator and its synchronization primitives. *)
+
+module Cycles = Armvirt_engine.Cycles
+module Heap = Armvirt_engine.Heap
+module Sim = Armvirt_engine.Sim
+
+let cycles_of n = Cycles.of_int n
+
+(* --- Cycles -------------------------------------------------------- *)
+
+let test_cycles_basics () =
+  Alcotest.(check int) "zero" 0 (Cycles.to_int Cycles.zero);
+  Alcotest.(check int) "one" 1 (Cycles.to_int Cycles.one);
+  Alcotest.(check int) "add" 30 Cycles.(to_int (of_int 10 + of_int 20));
+  Alcotest.(check int) "sub" 5 Cycles.(to_int (of_int 15 - of_int 10));
+  Alcotest.(check int) "scale" 60 (Cycles.to_int (Cycles.scale 3 (cycles_of 20)));
+  Alcotest.(check int) "sum" 6
+    (Cycles.to_int (Cycles.sum [ cycles_of 1; cycles_of 2; cycles_of 3 ]))
+
+let test_cycles_errors () =
+  Alcotest.check_raises "negative of_int"
+    (Invalid_argument "Cycles.of_int: negative cycle count") (fun () ->
+      ignore (Cycles.of_int (-1)));
+  Alcotest.check_raises "negative sub"
+    (Invalid_argument "Cycles.sub: negative result") (fun () ->
+      ignore (Cycles.sub (cycles_of 1) (cycles_of 2)));
+  Alcotest.check_raises "negative scale"
+    (Invalid_argument "Cycles.scale: negative factor") (fun () ->
+      ignore (Cycles.scale (-1) Cycles.one))
+
+let test_cycles_time_conversion () =
+  (* 2400 cycles at 2.4 GHz is exactly one microsecond. *)
+  Alcotest.(check (float 1e-9)) "to_us" 1.0 (Cycles.to_us ~hz:2.4e9 (cycles_of 2400));
+  Alcotest.(check int) "of_us roundtrip" 2400
+    (Cycles.to_int (Cycles.of_us ~hz:2.4e9 1.0));
+  Alcotest.(check (float 1e-9)) "x86 freq" 4.0
+    (Cycles.to_us ~hz:2.1e9 (cycles_of 8400))
+
+let test_cycles_pp () =
+  Alcotest.(check string) "thousands separators" "6,500"
+    (Format.asprintf "%a" Cycles.pp (cycles_of 6500));
+  Alcotest.(check string) "small" "71" (Format.asprintf "%a" Cycles.pp (cycles_of 71));
+  Alcotest.(check string) "millions" "1,234,567"
+    (Format.asprintf "%a" Cycles.pp (cycles_of 1234567))
+
+let prop_cycles_add_commutative =
+  QCheck.Test.make ~name:"cycles add commutative"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      Cycles.(equal (of_int a + of_int b) (of_int b + of_int a)))
+
+let prop_cycles_sub_inverse =
+  QCheck.Test.make ~name:"cycles (a+b)-b = a"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      Cycles.(equal (of_int a + of_int b - of_int b) (of_int a)))
+
+(* --- Heap ---------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:30 ~seq:0 "c";
+  Heap.push h ~time:10 ~seq:1 "a";
+  Heap.push h ~time:20 ~seq:2 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> "empty"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_heap_fifo_at_same_time () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:5 ~seq:i i
+  done;
+  let order = List.init 10 (fun _ ->
+      match Heap.pop h with Some (_, _, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "seq breaks ties" (List.init 10 Fun.id) order
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Heap.peek h = None);
+  Heap.push h ~time:7 ~seq:0 "x";
+  (match Heap.peek h with
+  | Some (7, 0, "x") -> ()
+  | _ -> Alcotest.fail "peek should return minimum without removing");
+  Alcotest.(check int) "size unchanged" 1 (Heap.size h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted by (time, seq)"
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun seq time -> Heap.push h ~time ~seq time) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, _, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort Int.compare times)
+
+(* --- Sim ----------------------------------------------------------- *)
+
+let test_sim_delay_advances_time () =
+  let sim = Sim.create () in
+  let finish = ref Cycles.zero in
+  Sim.spawn sim ~name:"delayer" (fun () ->
+      Sim.delay (cycles_of 100);
+      Sim.delay (cycles_of 23);
+      finish := Sim.current_time ());
+  Sim.run sim;
+  Alcotest.(check int) "time accumulated" 123 (Cycles.to_int !finish);
+  Alcotest.(check int) "sim clock" 123 (Cycles.to_int (Sim.now sim))
+
+let test_sim_interleaving_deterministic () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let record tag = log := tag :: !log in
+  Sim.spawn sim ~name:"a" (fun () ->
+      record "a0";
+      Sim.delay (cycles_of 10);
+      record "a10";
+      Sim.delay (cycles_of 20);
+      record "a30");
+  Sim.spawn sim ~name:"b" (fun () ->
+      record "b0";
+      Sim.delay (cycles_of 15);
+      record "b15");
+  Sim.run sim;
+  Alcotest.(check (list string)) "global cycle order"
+    [ "a0"; "b0"; "a10"; "b15"; "a30" ]
+    (List.rev !log)
+
+let test_sim_outside_process_errors () =
+  Alcotest.check_raises "delay outside"
+    (Invalid_argument "Sim.delay called outside a simulation process")
+    (fun () -> Sim.delay Cycles.one)
+
+let test_sim_signal_broadcast () =
+  let sim = Sim.create () in
+  let s = Sim.Signal.create sim in
+  let woken = ref 0 in
+  for i = 1 to 3 do
+    Sim.spawn sim ~name:(Printf.sprintf "waiter%d" i) (fun () ->
+        Sim.Signal.wait s;
+        incr woken)
+  done;
+  Sim.spawn sim ~name:"notifier" (fun () ->
+      Sim.delay (cycles_of 50);
+      Alcotest.(check int) "three waiters parked" 3 (Sim.Signal.waiters s);
+      Sim.Signal.notify s);
+  Sim.run sim;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_sim_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Sim.Mailbox.create sim in
+  let received = ref [] in
+  Sim.spawn sim ~name:"producer" (fun () ->
+      List.iter (fun v -> Sim.Mailbox.send mb v) [ 1; 2; 3 ]);
+  Sim.spawn sim ~name:"consumer" (fun () ->
+      for _ = 1 to 3 do
+        received := Sim.Mailbox.recv mb :: !received
+      done);
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3 ] (List.rev !received)
+
+let test_sim_mailbox_blocking_recv () =
+  let sim = Sim.create () in
+  let mb = Sim.Mailbox.create sim in
+  let got = ref (-1) in
+  let when_got = ref Cycles.zero in
+  Sim.spawn sim ~name:"consumer" (fun () ->
+      got := Sim.Mailbox.recv mb;
+      when_got := Sim.current_time ());
+  Sim.spawn sim ~name:"producer" (fun () ->
+      Sim.delay (cycles_of 77);
+      Sim.Mailbox.send mb 42);
+  Sim.run sim;
+  Alcotest.(check int) "value" 42 !got;
+  Alcotest.(check int) "woken at send time" 77 (Cycles.to_int !when_got)
+
+let test_sim_resource_serializes () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create sim ~capacity:1 in
+  let finish = Array.make 2 0 in
+  for i = 0 to 1 do
+    Sim.spawn sim ~name:(Printf.sprintf "user%d" i) (fun () ->
+        Sim.Resource.use r (cycles_of 100);
+        finish.(i) <- Cycles.to_int (Sim.current_time ()))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "first done at 100" 100 finish.(0);
+  Alcotest.(check int) "second serialized to 200" 200 finish.(1)
+
+let test_sim_resource_capacity_two () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create sim ~capacity:2 in
+  let finish = Array.make 3 0 in
+  for i = 0 to 2 do
+    Sim.spawn sim ~name:(Printf.sprintf "user%d" i) (fun () ->
+        Sim.Resource.use r (cycles_of 100);
+        finish.(i) <- Cycles.to_int (Sim.current_time ()))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "two run in parallel, third waits"
+    [ 100; 100; 200 ]
+    (Array.to_list finish)
+
+let test_sim_deadlock_detection () =
+  let sim = Sim.create () in
+  let s = Sim.Signal.create sim in
+  Sim.spawn sim ~name:"stuck-waiter" (fun () -> Sim.Signal.wait s);
+  (match Sim.run sim with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Deadlock names ->
+      Alcotest.(check bool) "names the process" true
+        (String.length names > 0
+        && String.equal names "stuck-waiter"))
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim ~name:"ticker" (fun () ->
+      for i = 1 to 5 do
+        Sim.delay (cycles_of 10);
+        log := (i * 10) :: !log
+      done);
+  Sim.run_until sim (cycles_of 25);
+  Alcotest.(check (list int)) "only events <= 25" [ 10; 20 ] (List.rev !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "rest completes" [ 10; 20; 30; 40; 50 ]
+    (List.rev !log)
+
+let test_sim_spawn_here () =
+  let sim = Sim.create () in
+  let child_time = ref Cycles.zero in
+  Sim.spawn sim ~name:"parent" (fun () ->
+      Sim.delay (cycles_of 40);
+      Sim.spawn_here ~name:"child" (fun () ->
+          Sim.delay (cycles_of 2);
+          child_time := Sim.current_time ()));
+  Sim.run sim;
+  Alcotest.(check int) "child starts at parent's time" 42
+    (Cycles.to_int !child_time)
+
+let test_sim_yield_is_fair () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim ~name:"a" (fun () ->
+      log := "a1" :: !log;
+      Sim.yield ();
+      log := "a2" :: !log);
+  Sim.spawn sim ~name:"b" (fun () -> log := "b" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "yield lets b run" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_sim_exception_propagates () =
+  let sim = Sim.create () in
+  Sim.spawn sim ~name:"raiser" (fun () ->
+      Sim.delay (cycles_of 10);
+      failwith "boom");
+  (match Sim.run sim with
+  | () -> Alcotest.fail "expected the process exception to escape"
+  | exception Failure msg -> Alcotest.(check string) "payload" "boom" msg)
+
+let test_sim_resource_released_on_exception () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create sim ~capacity:1 in
+  let second_ran = ref false in
+  Sim.spawn sim ~name:"crasher" (fun () ->
+      match
+        Sim.Resource.acquire r;
+        (try Sim.delay (cycles_of 10) with e -> Sim.Resource.release r; raise e);
+        Sim.Resource.release r
+      with
+      | () -> ()
+      | exception Failure _ -> ());
+  Sim.spawn sim ~name:"waiter" (fun () ->
+      Sim.Resource.acquire r;
+      second_ran := true;
+      Sim.Resource.release r);
+  Sim.run sim;
+  Alcotest.(check bool) "resource not leaked" true !second_ran;
+  Alcotest.(check int) "capacity restored" 1 (Sim.Resource.available r)
+
+let test_sim_double_wake_rejected () =
+  let sim = Sim.create () in
+  let stash = ref None in
+  Sim.spawn sim ~name:"sleeper" (fun () ->
+      Sim.suspend (fun wake -> stash := Some wake));
+  Sim.spawn sim ~name:"waker" (fun () ->
+      Sim.delay (cycles_of 5);
+      let wake = Option.get !stash in
+      wake ();
+      match wake () with
+      | () -> Alcotest.fail "double wake must be rejected"
+      | exception Invalid_argument _ -> ());
+  Sim.run sim
+
+let prop_sim_determinism =
+  QCheck.Test.make ~name:"two identical runs produce identical traces"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 100))
+    (fun delays ->
+      let run () =
+        let sim = Sim.create () in
+        let log = ref [] in
+        List.iteri
+          (fun i d ->
+            Sim.spawn sim ~name:(string_of_int i) (fun () ->
+                Sim.delay (cycles_of d);
+                log := (i, Cycles.to_int (Sim.current_time ())) :: !log))
+          delays;
+        Sim.run sim;
+        !log
+      in
+      run () = run ())
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "cycles",
+        [
+          Alcotest.test_case "basics" `Quick test_cycles_basics;
+          Alcotest.test_case "errors" `Quick test_cycles_errors;
+          Alcotest.test_case "time conversion" `Quick test_cycles_time_conversion;
+          Alcotest.test_case "pretty printing" `Quick test_cycles_pp;
+        ]
+        @ qcheck [ prop_cycles_add_commutative; prop_cycles_sub_inverse ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo at same time" `Quick test_heap_fifo_at_same_time;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+        ]
+        @ qcheck [ prop_heap_sorted ] );
+      ( "sim",
+        [
+          Alcotest.test_case "delay advances time" `Quick test_sim_delay_advances_time;
+          Alcotest.test_case "interleaving deterministic" `Quick
+            test_sim_interleaving_deterministic;
+          Alcotest.test_case "outside process errors" `Quick
+            test_sim_outside_process_errors;
+          Alcotest.test_case "signal broadcast" `Quick test_sim_signal_broadcast;
+          Alcotest.test_case "mailbox fifo" `Quick test_sim_mailbox_fifo;
+          Alcotest.test_case "mailbox blocking recv" `Quick
+            test_sim_mailbox_blocking_recv;
+          Alcotest.test_case "resource serializes" `Quick test_sim_resource_serializes;
+          Alcotest.test_case "resource capacity two" `Quick
+            test_sim_resource_capacity_two;
+          Alcotest.test_case "deadlock detection" `Quick test_sim_deadlock_detection;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "spawn_here" `Quick test_sim_spawn_here;
+          Alcotest.test_case "yield fairness" `Quick test_sim_yield_is_fair;
+          Alcotest.test_case "exception propagates" `Quick
+            test_sim_exception_propagates;
+          Alcotest.test_case "resource released on exception" `Quick
+            test_sim_resource_released_on_exception;
+          Alcotest.test_case "double wake rejected" `Quick
+            test_sim_double_wake_rejected;
+        ]
+        @ qcheck [ prop_sim_determinism ] );
+    ]

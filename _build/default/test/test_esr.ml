@@ -1,0 +1,75 @@
+(* Tests for ESR syndrome decoding and its integration into the KVM ARM
+   exit dispatcher's per-reason counters. *)
+
+module Sim = Armvirt_engine.Sim
+module Machine = Armvirt_arch.Machine
+module Cost_model = Armvirt_arch.Cost_model
+module Counter = Armvirt_stats.Counter
+module Esr = Armvirt_arch.Esr
+module H = Armvirt_hypervisor
+
+let test_ec_encodings () =
+  (* The architectural EC values (ARM ARM D17.2.37). *)
+  Alcotest.(check int) "WFI/WFE" 0x01 (Esr.ec Esr.Wfi_wfe);
+  Alcotest.(check int) "HVC64" 0x16 (Esr.ec Esr.Hvc64);
+  Alcotest.(check int) "SMC64" 0x17 (Esr.ec Esr.Smc64);
+  Alcotest.(check int) "sysreg" 0x18 (Esr.ec Esr.Sysreg_trap);
+  Alcotest.(check int) "inst abort" 0x20 (Esr.ec Esr.Inst_abort_lower);
+  Alcotest.(check int) "data abort" 0x24 (Esr.ec Esr.Data_abort_lower)
+
+let test_roundtrip () =
+  List.iter
+    (fun cls ->
+      let syndrome = Esr.encode cls ~iss:0x1234 in
+      match Esr.decode syndrome with
+      | Some (cls', iss) ->
+          Alcotest.(check string) "class survives" (Esr.describe cls)
+            (Esr.describe cls');
+          Alcotest.(check int) "iss survives" 0x1234 iss
+      | None -> Alcotest.fail "decode failed")
+    Esr.all;
+  Alcotest.(check bool) "unknown EC rejected" true (Esr.decode 0 = None);
+  Alcotest.(check bool) "of_ec total on known codes" true
+    (List.for_all (fun cls -> Esr.of_ec (Esr.ec cls) = Some cls) Esr.all);
+  Alcotest.check_raises "ISS width"
+    (Invalid_argument "Esr.encode: ISS exceeds 25 bits") (fun () ->
+      ignore (Esr.encode Esr.Hvc64 ~iss:(1 lsl 25)))
+
+let prop_encode_distinct =
+  QCheck.Test.make ~name:"distinct classes never collide"
+    QCheck.(pair (int_bound 6) (int_bound 6))
+    (fun (i, j) ->
+      let a = List.nth Esr.all i and b = List.nth Esr.all j in
+      i = j || Esr.encode a ~iss:0 <> Esr.encode b ~iss:0)
+
+let test_exit_reason_counters () =
+  let machine =
+    Machine.create (Sim.create ())
+      ~cost:(Cost_model.Arm Cost_model.arm_default) ~num_cpus:8
+  in
+  let kvm = H.Kvm_arm.create machine in
+  Sim.spawn (Machine.sim machine) ~name:"driver" (fun () ->
+      H.Kvm_arm.hypercall kvm;
+      H.Kvm_arm.hypercall kvm;
+      H.Kvm_arm.interrupt_controller_trap kvm;
+      ignore (H.Kvm_arm.io_latency_out kvm));
+  Sim.run (Machine.sim machine);
+  let counters = Machine.counters machine in
+  let reason cls = Counter.get counters ("kvm_arm.exit." ^ Esr.describe cls) in
+  Alcotest.(check int) "two hypercall exits" 2 (reason Esr.Hvc64);
+  Alcotest.(check int) "two MMIO exits (GIC access + kick)" 2
+    (reason Esr.Data_abort_lower);
+  Alcotest.(check int) "no IRQ exits in these paths" 0 (reason Esr.Irq)
+
+let () =
+  Alcotest.run "esr"
+    [
+      ( "esr",
+        [
+          Alcotest.test_case "EC encodings" `Quick test_ec_encodings;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          QCheck_alcotest.to_alcotest prop_encode_distinct;
+          Alcotest.test_case "exit-reason counters" `Quick
+            test_exit_reason_counters;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for Armvirt_gic: IRQ classification, the distributor, the
+   hardware virtual CPU interface (list registers) and the x86 APIC. *)
+
+module Irq = Armvirt_gic.Irq
+module Distributor = Armvirt_gic.Distributor
+module Vgic = Armvirt_gic.Vgic
+module Apic = Armvirt_gic.Apic
+
+(* --- Irq ------------------------------------------------------------ *)
+
+let test_irq_kinds () =
+  Alcotest.(check bool) "SGI" true (Irq.kind 0 = Irq.Sgi);
+  Alcotest.(check bool) "SGI upper" true (Irq.kind 15 = Irq.Sgi);
+  Alcotest.(check bool) "PPI" true (Irq.kind 27 = Irq.Ppi);
+  Alcotest.(check bool) "SPI" true (Irq.kind 32 = Irq.Spi);
+  Alcotest.(check bool) "SPI upper" true (Irq.kind 1019 = Irq.Spi);
+  Alcotest.(check bool) "virtual timer is PPI 27" true
+    (Irq.virtual_timer = 27 && Irq.kind Irq.virtual_timer = Irq.Ppi);
+  Alcotest.(check bool) "maintenance is PPI" true
+    (Irq.kind Irq.maintenance = Irq.Ppi);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Irq.kind: id out of range") (fun () ->
+      ignore (Irq.kind 1020))
+
+(* --- Distributor ----------------------------------------------------- *)
+
+let dist () = Distributor.create ~num_cpus:4
+
+let test_dist_spi_lifecycle () =
+  let d = dist () in
+  Distributor.enable d 40;
+  Distributor.set_target d 40 ~cpu:2;
+  Distributor.raise_spi d 40;
+  Alcotest.(check bool) "pending on target" true
+    (Distributor.state d 40 ~cpu:2 = Distributor.Pending);
+  Alcotest.(check bool) "not pending elsewhere" true
+    (Distributor.state d 40 ~cpu:0 = Distributor.Inactive);
+  Alcotest.(check bool) "ack" true (Distributor.acknowledge d ~cpu:2 = Some 40);
+  Alcotest.(check bool) "active" true
+    (Distributor.state d 40 ~cpu:2 = Distributor.Active);
+  Distributor.end_of_interrupt d 40 ~cpu:2;
+  Alcotest.(check bool) "inactive" true
+    (Distributor.state d 40 ~cpu:2 = Distributor.Inactive)
+
+let test_dist_disabled_not_delivered () =
+  let d = dist () in
+  Distributor.set_target d 40 ~cpu:0;
+  Distributor.raise_spi d 40 (* pending but disabled *);
+  Alcotest.(check bool) "no ack while disabled" true
+    (Distributor.acknowledge d ~cpu:0 = None);
+  Distributor.enable d 40;
+  Alcotest.(check bool) "delivered once enabled" true
+    (Distributor.acknowledge d ~cpu:0 = Some 40)
+
+let test_dist_priority_order () =
+  let d = dist () in
+  List.iter
+    (fun (irq, prio) ->
+      Distributor.enable d irq;
+      Distributor.set_priority d irq prio;
+      Distributor.set_target d irq ~cpu:0;
+      Distributor.raise_spi d irq)
+    [ (40, 128); (41, 16); (42, 128) ];
+  Alcotest.(check bool) "highest priority first" true
+    (Distributor.acknowledge d ~cpu:0 = Some 41);
+  (* Equal priorities tie-break to the lowest IRQ id. *)
+  Alcotest.(check bool) "lowest id among equals" true
+    (Distributor.acknowledge d ~cpu:0 = Some 40)
+
+let test_dist_sgi_multicast () =
+  let d = dist () in
+  Distributor.enable d 1;
+  Distributor.send_sgi d 1 ~from:0 ~targets:[ 1; 2 ];
+  Alcotest.(check int) "pending on cpu1" 1 (Distributor.pending_count d ~cpu:1);
+  Alcotest.(check int) "pending on cpu2" 1 (Distributor.pending_count d ~cpu:2);
+  Alcotest.(check int) "sender unaffected" 0 (Distributor.pending_count d ~cpu:0)
+
+let test_dist_active_pending () =
+  (* A level interrupt re-raised while in service becomes active+pending
+     and fires again after EOI. *)
+  let d = dist () in
+  Distributor.enable d 50;
+  Distributor.set_target d 50 ~cpu:0;
+  Distributor.raise_spi d 50;
+  ignore (Distributor.acknowledge d ~cpu:0);
+  Distributor.raise_spi d 50;
+  Alcotest.(check bool) "active+pending" true
+    (Distributor.state d 50 ~cpu:0 = Distributor.Active_pending);
+  Distributor.end_of_interrupt d 50 ~cpu:0;
+  Alcotest.(check bool) "pending again" true
+    (Distributor.state d 50 ~cpu:0 = Distributor.Pending)
+
+let test_dist_errors () =
+  let d = dist () in
+  Alcotest.check_raises "eoi inactive"
+    (Invalid_argument "Distributor.end_of_interrupt: interrupt not active")
+    (fun () -> Distributor.end_of_interrupt d 40 ~cpu:0);
+  Alcotest.check_raises "sgi target for spi only"
+    (Invalid_argument "Distributor.set_target: SGIs and PPIs are banked per CPU")
+    (fun () -> Distributor.set_target d 1 ~cpu:0);
+  Alcotest.check_raises "raise_spi on ppi"
+    (Invalid_argument "Distributor.raise_spi: not an SPI") (fun () ->
+      Distributor.raise_spi d 27);
+  Alcotest.check_raises "num_cpus bounds"
+    (Invalid_argument "Distributor.create: num_cpus must be in 1-8") (fun () ->
+      ignore (Distributor.create ~num_cpus:9))
+
+let test_dist_ppi_banked () =
+  let d = dist () in
+  Distributor.enable d 27;
+  Distributor.raise_ppi d 27 ~cpu:1;
+  Alcotest.(check bool) "banked per cpu" true
+    (Distributor.state d 27 ~cpu:1 = Distributor.Pending
+    && Distributor.state d 27 ~cpu:0 = Distributor.Inactive)
+
+(* --- Vgic ------------------------------------------------------------ *)
+
+let test_vgic_inject_ack_complete () =
+  let v = Vgic.create () in
+  Vgic.inject v 48;
+  Alcotest.(check (list int)) "pending" [ 48 ] (Vgic.pending v);
+  Alcotest.(check bool) "ack" true (Vgic.acknowledge v = Some 48);
+  Alcotest.(check (list int)) "active" [ 48 ] (Vgic.active v);
+  Vgic.complete v 48;
+  Alcotest.(check int) "list registers free" 4 (Vgic.free_lrs v)
+
+let test_vgic_merges_reinjection () =
+  let v = Vgic.create () in
+  Vgic.inject v 48;
+  Vgic.inject v 48;
+  Alcotest.(check int) "hardware merges" 1 (Vgic.resident v)
+
+let test_vgic_overflow_and_queue () =
+  let v = Vgic.create ~num_lrs:2 () in
+  Vgic.inject v 1;
+  Vgic.inject v 2;
+  (match Vgic.inject v 3 with
+  | () -> Alcotest.fail "expected Overflow"
+  | exception Vgic.Overflow -> ());
+  Vgic.inject_or_queue v 3;
+  Alcotest.(check bool) "maintenance needed" true (Vgic.maintenance_needed v);
+  Alcotest.(check (list int)) "queued" [ 3 ] (Vgic.overflow_queue v);
+  (* Guest drains one, hypervisor refills from the queue. *)
+  ignore (Vgic.acknowledge v);
+  Vgic.complete v 1;
+  Vgic.drain_overflow v;
+  Alcotest.(check bool) "queue drained" false (Vgic.maintenance_needed v);
+  Alcotest.(check int) "LR occupied again" 2 (Vgic.resident v)
+
+let test_vgic_complete_errors () =
+  let v = Vgic.create () in
+  Alcotest.check_raises "complete non-resident"
+    (Invalid_argument "Vgic.complete: interrupt not active") (fun () ->
+      Vgic.complete v 7);
+  Vgic.inject v 7;
+  Alcotest.check_raises "complete pending (not acked)"
+    (Invalid_argument "Vgic.complete: interrupt not active") (fun () ->
+      Vgic.complete v 7)
+
+let prop_vgic_resident_bounded =
+  QCheck.Test.make ~name:"resident LRs never exceed num_lrs"
+    QCheck.(list (int_range 32 64))
+    (fun irqs ->
+      let v = Vgic.create ~num_lrs:4 () in
+      List.iter (Vgic.inject_or_queue v) irqs;
+      Vgic.resident v <= 4)
+
+let prop_vgic_no_duplicates =
+  QCheck.Test.make ~name:"an IRQ is never resident twice"
+    QCheck.(list (int_range 32 40))
+    (fun irqs ->
+      let v = Vgic.create ~num_lrs:8 () in
+      List.iter (Vgic.inject_or_queue v) irqs;
+      let resident = Vgic.pending v @ Vgic.active v in
+      List.length resident = List.length (List.sort_uniq Int.compare resident))
+
+(* --- Apic ------------------------------------------------------------ *)
+
+let test_apic_lifecycle () =
+  let a = Apic.create () in
+  Alcotest.(check bool) "EOI traps without vAPIC" true (Apic.eoi_traps a);
+  Apic.fire a ~vector:64;
+  Apic.fire a ~vector:200;
+  Alcotest.(check bool) "highest vector first" true
+    (Apic.acknowledge a = Some 200);
+  Alcotest.(check (list int)) "in service" [ 200 ] (Apic.in_service a);
+  Apic.eoi a;
+  Alcotest.(check bool) "next vector" true (Apic.acknowledge a = Some 64)
+
+let test_apic_nesting () =
+  let a = Apic.create () in
+  Apic.fire a ~vector:100;
+  ignore (Apic.acknowledge a);
+  Apic.fire a ~vector:150;
+  ignore (Apic.acknowledge a);
+  Alcotest.(check (list int)) "nested, highest first" [ 150; 100 ]
+    (Apic.in_service a);
+  Apic.eoi a;
+  Alcotest.(check (list int)) "innermost completed" [ 100 ] (Apic.in_service a)
+
+let test_apic_errors () =
+  let a = Apic.create () in
+  Alcotest.check_raises "vector range"
+    (Invalid_argument "Apic.fire: vector must be in 32-255") (fun () ->
+      Apic.fire a ~vector:31);
+  Alcotest.check_raises "eoi with nothing in service"
+    (Invalid_argument "Apic.eoi: no interrupt in service") (fun () -> Apic.eoi a)
+
+let test_apic_vapic_flag () =
+  let a = Apic.create ~vapic:true () in
+  Alcotest.(check bool) "vAPIC avoids the trap" false (Apic.eoi_traps a)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "gic"
+    [
+      ("irq", [ Alcotest.test_case "kinds" `Quick test_irq_kinds ]);
+      ( "distributor",
+        [
+          Alcotest.test_case "SPI lifecycle" `Quick test_dist_spi_lifecycle;
+          Alcotest.test_case "disabled not delivered" `Quick
+            test_dist_disabled_not_delivered;
+          Alcotest.test_case "priority order" `Quick test_dist_priority_order;
+          Alcotest.test_case "SGI multicast" `Quick test_dist_sgi_multicast;
+          Alcotest.test_case "active+pending" `Quick test_dist_active_pending;
+          Alcotest.test_case "errors" `Quick test_dist_errors;
+          Alcotest.test_case "PPI banking" `Quick test_dist_ppi_banked;
+        ] );
+      ( "vgic",
+        [
+          Alcotest.test_case "inject/ack/complete" `Quick
+            test_vgic_inject_ack_complete;
+          Alcotest.test_case "merges reinjection" `Quick
+            test_vgic_merges_reinjection;
+          Alcotest.test_case "overflow and queue" `Quick
+            test_vgic_overflow_and_queue;
+          Alcotest.test_case "complete errors" `Quick test_vgic_complete_errors;
+        ]
+        @ qcheck [ prop_vgic_resident_bounded; prop_vgic_no_duplicates ] );
+      ( "apic",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_apic_lifecycle;
+          Alcotest.test_case "nesting" `Quick test_apic_nesting;
+          Alcotest.test_case "errors" `Quick test_apic_errors;
+          Alcotest.test_case "vapic flag" `Quick test_apic_vapic_flag;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for Armvirt_net: packets with layer timestamps, the 10 GbE link
+   and the NIC model. *)
+
+module Cycles = Armvirt_engine.Cycles
+module Sim = Armvirt_engine.Sim
+module Machine = Armvirt_arch.Machine
+module Cost_model = Armvirt_arch.Cost_model
+module Packet = Armvirt_net.Packet
+module Link = Armvirt_net.Link
+module Nic = Armvirt_net.Nic
+
+let arm_machine sim =
+  Machine.create sim ~cost:(Cost_model.Arm Cost_model.arm_default) ~num_cpus:8
+
+(* --- Packet ---------------------------------------------------------- *)
+
+let test_packet_bytes () =
+  let p = Packet.create ~payload:1 ~id:1 () in
+  Alcotest.(check int) "payload" 1 (Packet.payload_bytes p);
+  Alcotest.(check int) "framing added" 67 (Packet.wire_bytes p);
+  let big = Packet.create ~payload:1434 ~id:2 () in
+  Alcotest.(check int) "MTU frame" 1500 (Packet.wire_bytes big)
+
+let test_packet_stamps () =
+  let sim = Sim.create () in
+  let p = Packet.create ~id:1 () in
+  Sim.spawn sim ~name:"stamper" (fun () ->
+      Packet.stamp p "recv";
+      Sim.delay (Cycles.of_int 250);
+      Packet.stamp p "send");
+  Sim.run sim;
+  (match Packet.interval p "recv" "send" with
+  | Some c -> Alcotest.(check int) "interval" 250 (Cycles.to_int c)
+  | None -> Alcotest.fail "interval missing");
+  Alcotest.(check bool) "reverse interval is None" true
+    (Packet.interval p "send" "recv" = None);
+  Alcotest.(check bool) "missing stamp" true
+    (Packet.interval p "recv" "nowhere" = None);
+  Alcotest.(check (list string)) "chronological order" [ "recv"; "send" ]
+    (List.map fst (Packet.stamps p))
+
+let test_packet_restamp_overwrites () =
+  let sim = Sim.create () in
+  let p = Packet.create ~id:1 () in
+  Sim.spawn sim ~name:"stamper" (fun () ->
+      Packet.stamp p "x";
+      Sim.delay (Cycles.of_int 100);
+      Packet.stamp p "x");
+  Sim.run sim;
+  (match Packet.timestamp p "x" with
+  | Some c -> Alcotest.(check int) "latest wins" 100 (Cycles.to_int c)
+  | None -> Alcotest.fail "stamp missing")
+
+(* --- Link ------------------------------------------------------------ *)
+
+let test_link_latency () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~propagation:(Cycles.of_int 1000) ~cycles_per_byte:2.0
+  in
+  let arrival = ref (-1) in
+  Sim.spawn sim ~name:"sender" (fun () ->
+      let p = Packet.create ~payload:34 ~id:1 () (* 100 wire bytes *) in
+      Link.send link p ~deliver:(fun _ ->
+          arrival := Cycles.to_int (Sim.current_time ())));
+  Sim.run sim;
+  (* 100 bytes * 2 cycles/byte serialization + 1000 propagation. *)
+  Alcotest.(check int) "serialization + propagation" 1200 !arrival;
+  Alcotest.(check int) "delivered count" 1 (Link.delivered link)
+
+let test_link_fifo_and_serialization () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~propagation:(Cycles.of_int 1000) ~cycles_per_byte:2.0
+  in
+  let arrivals = ref [] in
+  Sim.spawn sim ~name:"sender" (fun () ->
+      for i = 1 to 2 do
+        let p = Packet.create ~payload:34 ~id:i () in
+        Link.send link p ~deliver:(fun pkt ->
+            arrivals :=
+              (Packet.id pkt, Cycles.to_int (Sim.current_time ())) :: !arrivals)
+      done);
+  Sim.run sim;
+  (* Second frame waits for the wire: starts serializing at 200. *)
+  Alcotest.(check (list (pair int int))) "in order, serialized"
+    [ (1, 1200); (2, 1400) ]
+    (List.rev !arrivals)
+
+let test_link_ten_gbe_rate () =
+  let sim = Sim.create () in
+  let link = Link.ten_gbe sim ~freq_ghz:2.4 in
+  let arrival = ref 0 in
+  Sim.spawn sim ~name:"sender" (fun () ->
+      let p = Packet.create ~payload:1434 ~id:1 () in
+      Link.send link p ~deliver:(fun _ ->
+          arrival := Cycles.to_int (Sim.current_time ())));
+  Sim.run sim;
+  (* 1500 B at 10 Gb/s = 1.2 us = 2880 cycles, + 2 us propagation. *)
+  let expected = 2880 + 4800 in
+  Alcotest.(check bool) "10GbE timing" true (abs (!arrival - expected) < 10)
+
+(* --- Nic ------------------------------------------------------------- *)
+
+let test_nic_rx_raises_irq () =
+  let sim = Sim.create () in
+  let machine = arm_machine sim in
+  let irqs = ref [] in
+  let nic =
+    Nic.create sim ~machine ~dma_cost:500 ~irq_raise:(fun p ->
+        irqs := Packet.id p :: !irqs)
+  in
+  Sim.spawn sim ~name:"wire" (fun () ->
+      Nic.receive nic (Packet.create ~id:7 ()));
+  Sim.run sim;
+  Alcotest.(check (list int)) "IRQ raised with the frame" [ 7 ] !irqs;
+  Alcotest.(check int) "rx counted" 1 (Nic.rx_count nic);
+  Alcotest.(check int) "DMA cost spent" 500
+    (Cycles.to_int (Sim.now sim))
+
+let test_nic_tx_reaches_remote () =
+  let sim = Sim.create () in
+  let machine = arm_machine sim in
+  let received = ref [] in
+  let nic = Nic.create sim ~machine ~dma_cost:500 ~irq_raise:(fun _ -> ()) in
+  let link = Link.ten_gbe sim ~freq_ghz:2.4 in
+  Nic.attach nic link ~remote:(fun p -> received := Packet.id p :: !received);
+  Sim.spawn sim ~name:"driver" (fun () ->
+      Nic.transmit nic (Packet.create ~id:3 ()));
+  Sim.run sim;
+  Alcotest.(check (list int)) "remote got the frame" [ 3 ] !received;
+  Alcotest.(check int) "tx counted" 1 (Nic.tx_count nic)
+
+let test_nic_tx_without_link_fails () =
+  let sim = Sim.create () in
+  let machine = arm_machine sim in
+  let nic = Nic.create sim ~machine ~dma_cost:500 ~irq_raise:(fun _ -> ()) in
+  let failed = ref false in
+  Sim.spawn sim ~name:"driver" (fun () ->
+      match Nic.transmit nic (Packet.create ~id:1 ()) with
+      | () -> ()
+      | exception Failure _ -> failed := true);
+  Sim.run sim;
+  Alcotest.(check bool) "no link attached" true !failed
+
+let test_nic_stamps_layers () =
+  let sim = Sim.create () in
+  let machine = arm_machine sim in
+  let nic = Nic.create sim ~machine ~dma_cost:500 ~irq_raise:(fun _ -> ()) in
+  let link = Link.ten_gbe sim ~freq_ghz:2.4 in
+  Nic.attach nic link ~remote:(fun _ -> ());
+  let p = Packet.create ~id:1 () in
+  Sim.spawn sim ~name:"driver" (fun () ->
+      Nic.receive nic p;
+      Nic.transmit nic p);
+  Sim.run sim;
+  Alcotest.(check bool) "tcpdump points present" true
+    (Packet.timestamp p "nic_rx" <> None && Packet.timestamp p "nic_tx" <> None)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "wire bytes" `Quick test_packet_bytes;
+          Alcotest.test_case "stamps and intervals" `Quick test_packet_stamps;
+          Alcotest.test_case "restamp overwrites" `Quick
+            test_packet_restamp_overwrites;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "latency" `Quick test_link_latency;
+          Alcotest.test_case "fifo and serialization" `Quick
+            test_link_fifo_and_serialization;
+          Alcotest.test_case "10GbE rate" `Quick test_link_ten_gbe_rate;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "rx raises irq" `Quick test_nic_rx_raises_irq;
+          Alcotest.test_case "tx reaches remote" `Quick test_nic_tx_reaches_remote;
+          Alcotest.test_case "tx without link fails" `Quick
+            test_nic_tx_without_link_fails;
+          Alcotest.test_case "stamps layers" `Quick test_nic_stamps_layers;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Rendering smoke tests: every report formatter runs against real
+   experiment output without raising (format-string bugs surface here)
+   and mentions the strings a reader would look for. *)
+
+module Experiment = Armvirt_core.Experiment
+module Report = Armvirt_core.Report
+
+let render pp v =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  pp ppf v;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_render name out needles =
+  Alcotest.(check bool) (name ^ " non-trivial") true (String.length out > 80);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S" name needle)
+        true (contains out needle))
+    needles
+
+let test_table3 () =
+  check_render "table3"
+    (render Report.pp_table3 (Experiment.table3 ()))
+    [ "VGIC Regs"; "3250"; "Register State" ]
+
+let test_table5 () =
+  check_render "table5"
+    (render Report.pp_table5 (Experiment.table5 ~transactions:30 ()))
+    [ "Trans/s"; "VM recv to VM send"; "Xen" ]
+
+let test_vhe () =
+  check_render "vhe"
+    (render Report.pp_vhe (Experiment.vhe ~iterations:2 ()))
+    [ "KVM split-mode"; "Hypercall"; "speedup" ]
+
+let test_irqdist () =
+  check_render "irqdist"
+    (render Report.pp_irqdist (Experiment.irqdist ()))
+    [ "distributed"; "Apache"; "paper" ]
+
+let test_pinning () =
+  check_render "pinning"
+    (render Report.pp_pinning (Experiment.pinning ~iterations:2 ()))
+    [ "separate PCPUs"; "sharing" ]
+
+let test_zerocopy () =
+  check_render "zerocopy"
+    (render Report.pp_zerocopy (Experiment.zerocopy ()))
+    [ "grant copy"; "TLBI"; "Gb/s" ]
+
+let test_oversub () =
+  check_render "oversub"
+    (render Report.pp_oversub (Experiment.oversub ()))
+    [ "switches"; "overhead"; "KVM ARM" ]
+
+let test_disk () =
+  check_render "disk"
+    (render Report.pp_disk (Experiment.disk ()))
+    [ "SATA3 SSD"; "RAID5"; "4K read" ]
+
+let test_tail () =
+  check_render "tail"
+    (render Report.pp_tail (Experiment.tail ()))
+    [ "p99"; "utilization"; "Native" ]
+
+let test_coldstart () =
+  check_render "coldstart"
+    (render Report.pp_coldstart (Experiment.coldstart ()))
+    [ "faults"; "cycles/fault"; "KVM ARM (VHE)" ]
+
+let test_lrs () =
+  check_render "lrs"
+    (render Report.pp_lrs (Experiment.lrs ()))
+    [ "maintenance"; "LRs" ]
+
+let test_gicv3 () =
+  check_render "gicv3"
+    (render Report.pp_gicv3 (Experiment.gicv3 ()))
+    [ "GICv3"; "Hypercall"; "vIRQ-EOI" ]
+
+let test_ticks () =
+  check_render "ticks"
+    (render Report.pp_ticks (Experiment.ticks ()))
+    [ "cycles/tick"; "HZ" ]
+
+let test_linkspeed () =
+  check_render "linkspeed"
+    (render Report.pp_linkspeed (Experiment.linkspeed ()))
+    [ "GbE"; "Gb/s" ]
+
+let test_isolation () =
+  check_render "isolation"
+    (render Report.pp_isolation (Experiment.isolation ()))
+    [ "stddev"; "isolated" ]
+
+let test_structural () =
+  check_render "structural"
+    (render Report.pp_structural (Experiment.structural ()))
+    [ "agreement"; "TCP_RR"; "Hackbench" ]
+
+let test_fig4_chart () =
+  let out = render Report.pp_fig4_chart (Experiment.fig4 ()) in
+  check_render "fig4chart" out [ "Kernbench"; "TCP_STREAM"; "|#" ];
+  (* Xen's STREAM bar should be visibly longer than KVM's. *)
+  Alcotest.(check bool) "bars scale with values" true
+    (contains out "====================")
+
+(* --- Markdown -------------------------------------------------------------- *)
+
+module Markdown = Armvirt_core.Markdown
+
+let test_markdown_tables () =
+  let t2 = Markdown.table2 () in
+  check_render "markdown table2" t2 [ "| Hypercall | 6500 / 6500"; "ARM Xen" ];
+  let t3 = Markdown.table3 () in
+  check_render "markdown table3" t3 [ "VGIC Regs | 3250 | 181" ];
+  let f4 = Markdown.fig4 () in
+  check_render "markdown fig4" f4 [ "| Apache |"; "n/a" ]
+
+let test_markdown_full_report () =
+  let report = Markdown.full_report () in
+  check_render "full report" report
+    [
+      "# armvirt — live results"; "## Table II"; "## Table III"; "## Table V";
+      "## Figure 4"; "## Section VI";
+    ];
+  (* Markdown tables must be well-formed: every row of a table has the
+     same number of pipes as its header. *)
+  let lines = String.split_on_char '\n' report in
+  let pipes s = List.length (String.split_on_char '|' s) - 1 in
+  let rec check_tables = function
+    | header :: sep :: rest when pipes header > 0 && pipes sep = pipes header ->
+        let rec body = function
+          | row :: more when pipes row > 0 ->
+              Alcotest.(check int) "column count" (pipes header) (pipes row);
+              body more
+          | rest -> check_tables rest
+        in
+        body rest
+    | _ :: rest -> check_tables rest
+    | [] -> ()
+  in
+  check_tables lines
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "table3" `Quick test_table3;
+          Alcotest.test_case "table5" `Quick test_table5;
+          Alcotest.test_case "vhe" `Quick test_vhe;
+          Alcotest.test_case "irqdist" `Quick test_irqdist;
+          Alcotest.test_case "pinning" `Quick test_pinning;
+          Alcotest.test_case "zerocopy" `Quick test_zerocopy;
+          Alcotest.test_case "oversub" `Quick test_oversub;
+          Alcotest.test_case "disk" `Quick test_disk;
+          Alcotest.test_case "tail" `Quick test_tail;
+          Alcotest.test_case "coldstart" `Quick test_coldstart;
+          Alcotest.test_case "lrs" `Quick test_lrs;
+          Alcotest.test_case "gicv3" `Quick test_gicv3;
+          Alcotest.test_case "ticks" `Quick test_ticks;
+          Alcotest.test_case "linkspeed" `Quick test_linkspeed;
+          Alcotest.test_case "isolation" `Quick test_isolation;
+          Alcotest.test_case "structural" `Quick test_structural;
+          Alcotest.test_case "fig4 chart" `Quick test_fig4_chart;
+        ] );
+      ( "markdown",
+        [
+          Alcotest.test_case "tables" `Quick test_markdown_tables;
+          Alcotest.test_case "full report" `Quick test_markdown_full_report;
+        ] );
+    ]
