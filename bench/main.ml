@@ -36,11 +36,61 @@ let run_zerocopy () =
      (8-CPU TLB shootdown), hence Xen x86 copies (section V).@."
     (Experiment.x86_zero_copy_break_even ())
 
-(* Bechamel: how fast the simulator itself regenerates each artifact. *)
+module Runner = Armvirt_core.Runner
+
+(* Wall-clock comparison of the runner's serial and parallel paths over
+   the artifacts with the widest fan-out. The memo table is cleared
+   before every timed run so both paths regenerate from scratch. *)
+let run_runner_bench () =
+  let artifacts =
+    [
+      ("table2", fun () -> ignore (Experiment.table2 ()));
+      ("fig4", fun () -> ignore (Experiment.fig4 ()));
+      ("vhe", fun () -> ignore (Experiment.vhe ()));
+    ]
+  in
+  let timed jobs =
+    Experiment.reset_memo ();
+    Runner.set_jobs jobs;
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f ()) artifacts;
+    Unix.gettimeofday () -. t0
+  in
+  let parallel_jobs = max 4 (Runner.default_jobs ()) in
+  let serial = timed 1 in
+  let parallel = timed parallel_jobs in
+  Runner.set_jobs 1;
+  Format.fprintf ppf
+    "Runner: table2+fig4+vhe, serial vs parallel (memo cleared per run)@.";
+  Format.fprintf ppf "  --jobs 1   %8.3f s@." serial;
+  Format.fprintf ppf "  --jobs %-3d %8.3f s  (%.2fx, %d core%s visible)@."
+    parallel_jobs parallel (serial /. parallel)
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  (* Memoization across artifacts: a warm second regeneration. *)
+  Experiment.reset_memo ();
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) artifacts;
+  let cold = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) artifacts;
+  let warm = Unix.gettimeofday () -. t0 in
+  let hits, misses = Experiment.memo_stats () in
+  Format.fprintf ppf
+    "  memo: cold %.3f s, warm %.3f s (%.2fx); %d hits / %d misses@." cold warm
+    (cold /. warm) hits misses
+
+(* Bechamel: how fast the simulator itself regenerates each artifact.
+   Every staged run clears the cross-artifact memo table first, so
+   iterations measure regeneration, not cache hits. *)
 let run_bechamel () =
   let open Bechamel in
   let open Toolkit in
-  let stage f = Staged.stage (fun () -> ignore (f ())) in
+  let stage f =
+    Staged.stage (fun () ->
+        Experiment.reset_memo ();
+        ignore (f ()))
+  in
   let tests =
     Test.make_grouped ~name:"regenerate"
       [
@@ -131,9 +181,10 @@ let run_one name =
       Format.pp_print_newline ppf ()
   | None ->
       if name = "bechamel" then run_bechamel ()
+      else if name = "runner" then run_runner_bench ()
       else begin
         Format.fprintf ppf
-          "unknown experiment %S; available: %s bechamel all@." name
+          "unknown experiment %S; available: %s bechamel runner all@." name
           (String.concat " " (List.map fst experiments));
         exit 1
       end
@@ -143,5 +194,6 @@ let () =
   match args with
   | [] | [ "all" ] ->
       List.iter (fun (name, _) -> run_one name) experiments;
-      run_bechamel ()
+      run_bechamel ();
+      run_runner_bench ()
   | names -> List.iter run_one names

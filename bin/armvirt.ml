@@ -70,6 +70,30 @@ let resolve platform hyp =
   | Some id -> Platform.hypervisor platform id
   | None -> Platform.native platform
 
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "must be a positive integer")
+    | None -> Error (`Msg "expected an integer")
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run up to $(docv) independent simulation cells in parallel (OCaml \
+           domains). Output is byte-identical at every level. Defaults to \
+           $(b,ARMVIRT_JOBS) if set, else the machine's recommended domain \
+           count.")
+
+let apply_jobs = function
+  | Some n -> Armvirt_core.Runner.set_jobs n
+  | None -> ()
+
 (* --- list ------------------------------------------------------------- *)
 
 let experiments =
@@ -172,10 +196,13 @@ let run_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see `armvirt list`).")
   in
-  let run ids = List.iter run_experiment ids in
+  let run jobs ids =
+    apply_jobs jobs;
+    List.iter run_experiment ids
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ ids)
+    Term.(const run $ jobs_arg $ ids)
 
 (* --- micro ---------------------------------------------------------------- *)
 
@@ -185,7 +212,8 @@ let micro_cmd =
       value & opt int 32
       & info [ "iterations" ] ~docv:"N" ~doc:"Iterations per microbenchmark.")
   in
-  let run platform hyp iterations =
+  let run platform hyp iterations jobs =
+    apply_jobs jobs;
     let hypervisor = resolve platform hyp in
     Format.fprintf ppf "%s on %s@." hypervisor.Hypervisor.name
       (Platform.name platform);
@@ -196,7 +224,7 @@ let micro_cmd =
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run the Table I microbenchmark suite")
-    Term.(const run $ platform_arg $ hyp_arg $ iterations)
+    Term.(const run $ platform_arg $ hyp_arg $ iterations $ jobs_arg)
 
 (* --- app ------------------------------------------------------------------- *)
 
@@ -212,7 +240,8 @@ let app_cmd =
       & info [ "distribute-irqs" ]
           ~doc:"Spread virtual interrupts across all VCPUs (section V ablation).")
   in
-  let run platform hyp name distribute =
+  let run platform hyp name distribute jobs =
+    apply_jobs jobs;
     let hypervisor = resolve platform hyp in
     match String.uppercase_ascii name with
     | "TCP_RR" ->
@@ -249,7 +278,7 @@ let app_cmd =
   in
   Cmd.v
     (Cmd.info "app" ~doc:"Run one application workload (Figure 4 model)")
-    Term.(const run $ platform_arg $ hyp_arg $ workload $ distribute)
+    Term.(const run $ platform_arg $ hyp_arg $ workload $ distribute $ jobs_arg)
 
 (* --- rr ---------------------------------------------------------------------- *)
 

@@ -13,32 +13,91 @@ type quad_f = {
   q_xen_x86 : float option;
 }
 
-(* --- table2 ------------------------------------------------------- *)
+(* --- runner plumbing ----------------------------------------------- *)
 
-type table2_row = { micro : string; measured : Paper_data.quad }
+(* Every experiment below is a set of independent cells, each building
+   its own simulated machine (fresh Sim world, fresh RNG), handed to
+   Runner.map for the domain fan-out. Cells that recur across artifacts
+   (the microbenchmark columns) go through a shared memo table. *)
+
+let platform_id = function
+  | Platform.Arm_m400 -> "arm"
+  | Platform.Arm_m400_vhe -> "arm-vhe"
+  | Platform.X86_r320 -> "x86"
+
+let hyp_id_string = function Platform.Kvm -> "kvm" | Platform.Xen -> "xen"
+
+let micro_memo : (string * int) list Runner.Memo.table = Runner.Memo.create ()
+
+let reset_memo () = Runner.Memo.clear micro_memo
+
+let memo_stats () =
+  (Runner.Memo.hits micro_memo, Runner.Memo.misses micro_memo)
 
 let micro_rows ?iterations hyp =
   Microbench.to_rows (Microbench.run ?iterations hyp)
 
+(* One memoized microbenchmark column. [build] must construct a fresh
+   hypervisor (and simulation world); the key must identify the build
+   uniquely — stock cells use (platform, hyp), ablations add [tuning]. *)
+let micro_cell ?iterations ?(tuning = "") ~platform ~hyp build =
+  let key =
+    Runner.Key.v ~platform ~hyp ~tuning
+      ~iterations:(Option.value iterations ~default:0) ()
+  in
+  Runner.Memo.find_or_compute micro_memo key (fun () ->
+      micro_rows ?iterations (build ()))
+
+let micro_stock ?iterations p id =
+  micro_cell ?iterations ~platform:(platform_id p) ~hyp:(hyp_id_string id)
+    (fun () -> Platform.hypervisor p id)
+
+(* Deterministic per-cell RNG seed: a function of the cell's identity
+   alone, never of which domain or in which order it ran. *)
+let cell_seed ?platform ?hyp ?tuning () =
+  Runner.Key.seed (Runner.Key.v ?platform ?hyp ?tuning ())
+
+let chunks n list =
+  let rec go acc current k = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if k = 1 then go (List.rev (x :: current) :: acc) [] n rest
+        else go acc (x :: current) (k - 1) rest
+  in
+  go [] [] n list
+
+(* --- table2 ------------------------------------------------------- *)
+
+type table2_row = { micro : string; measured : Paper_data.quad }
+
 let table2 ?iterations () =
-  let kvm_arm = micro_rows ?iterations (Platform.hypervisor Arm_m400 Kvm) in
-  let xen_arm = micro_rows ?iterations (Platform.hypervisor Arm_m400 Xen) in
-  let kvm_x86 = micro_rows ?iterations (Platform.hypervisor X86_r320 Kvm) in
-  let xen_x86 = micro_rows ?iterations (Platform.hypervisor X86_r320 Xen) in
-  List.map
-    (fun (name, ka) ->
-      let find rows = List.assoc name rows in
-      {
-        micro = name;
-        measured =
+  let columns =
+    Runner.map
+      (fun (p, id) -> micro_stock ?iterations p id)
+      [
+        (Platform.Arm_m400, Platform.Kvm);
+        (Platform.Arm_m400, Platform.Xen);
+        (Platform.X86_r320, Platform.Kvm);
+        (Platform.X86_r320, Platform.Xen);
+      ]
+  in
+  match columns with
+  | [ kvm_arm; xen_arm; kvm_x86; xen_x86 ] ->
+      List.map
+        (fun (name, ka) ->
+          let find rows = List.assoc name rows in
           {
-            Paper_data.kvm_arm = ka;
-            xen_arm = find xen_arm;
-            kvm_x86 = find kvm_x86;
-            xen_x86 = find xen_x86;
-          };
-      })
-    kvm_arm
+            micro = name;
+            measured =
+              {
+                Paper_data.kvm_arm = ka;
+                xen_arm = find xen_arm;
+                kvm_x86 = find kvm_x86;
+                xen_x86 = find xen_x86;
+              };
+          })
+        kvm_arm
+  | _ -> assert false
 
 (* --- table3 ------------------------------------------------------- *)
 
@@ -51,11 +110,13 @@ let table3 () =
 (* --- table5 ------------------------------------------------------- *)
 
 let table5 ?transactions () =
-  [
-    ("Native", Netperf.run_tcp_rr ?transactions (Platform.native Arm_m400));
-    ("KVM", Netperf.run_tcp_rr ?transactions (Platform.hypervisor Arm_m400 Kvm));
-    ("Xen", Netperf.run_tcp_rr ?transactions (Platform.hypervisor Arm_m400 Xen));
-  ]
+  Runner.map
+    (fun (label, build) -> (label, Netperf.run_tcp_rr ?transactions (build ())))
+    [
+      ("Native", fun () -> Platform.native Arm_m400);
+      ("KVM", fun () -> Platform.hypervisor Arm_m400 Kvm);
+      ("Xen", fun () -> Platform.hypervisor Arm_m400 Xen);
+    ]
 
 (* --- fig4 --------------------------------------------------------- *)
 
@@ -83,20 +144,32 @@ let fig4_workloads =
     "TCP_MAERTS"; "Apache"; "Memcached"; "MySQL";
   ]
 
+let fig4_columns =
+  [
+    (Platform.Arm_m400, Platform.Kvm);
+    (Platform.Arm_m400, Platform.Xen);
+    (Platform.X86_r320, Platform.Kvm);
+    (Platform.X86_r320, Platform.Xen);
+  ]
+
 let fig4 () =
-  List.map
-    (fun w ->
-      {
-        workload = w;
-        values =
+  let cells =
+    List.concat_map
+      (fun w -> List.map (fun (p, id) -> (w, p, id)) fig4_columns)
+      fig4_workloads
+  in
+  let values = Runner.map (fun (w, p, id) -> fig4_one p id w) cells in
+  List.map2
+    (fun workload row ->
+      match row with
+      | [ ka; xa; kx; xx ] ->
           {
-            q_kvm_arm = fig4_one Platform.Arm_m400 Platform.Kvm w;
-            q_xen_arm = fig4_one Platform.Arm_m400 Platform.Xen w;
-            q_kvm_x86 = fig4_one Platform.X86_r320 Platform.Kvm w;
-            q_xen_x86 = fig4_one Platform.X86_r320 Platform.Xen w;
-          };
-      })
-    fig4_workloads
+            workload;
+            values =
+              { q_kvm_arm = ka; q_xen_arm = xa; q_kvm_x86 = kx; q_xen_x86 = xx };
+          }
+      | _ -> assert false)
+    fig4_workloads (chunks 4 values)
 
 (* --- vhe ---------------------------------------------------------- *)
 
@@ -108,21 +181,32 @@ type vhe_row = {
 }
 
 let vhe ?iterations () =
-  let split = micro_rows ?iterations (Platform.hypervisor Arm_m400 Kvm) in
-  let vhe = micro_rows ?iterations (Platform.hypervisor Arm_m400_vhe Kvm) in
-  let xen = micro_rows ?iterations (Platform.hypervisor Arm_m400 Xen) in
-  List.map
-    (fun (op, kvm_split) ->
-      {
-        operation = op;
-        kvm_split;
-        kvm_vhe = List.assoc op vhe;
-        xen_baseline = List.assoc op xen;
-      })
-    split
+  let columns =
+    Runner.map
+      (fun (p, id) -> micro_stock ?iterations p id)
+      [
+        (Platform.Arm_m400, Platform.Kvm);
+        (Platform.Arm_m400_vhe, Platform.Kvm);
+        (Platform.Arm_m400, Platform.Xen);
+      ]
+  in
+  match columns with
+  | [ split; vhe; xen ] ->
+      List.map
+        (fun (op, kvm_split) ->
+          {
+            operation = op;
+            kvm_split;
+            kvm_vhe = List.assoc op vhe;
+            xen_baseline = List.assoc op xen;
+          })
+        split
+  | _ -> assert false
+
+let vhe_app_workloads = [ "TCP_RR"; "Apache"; "Memcached"; "MySQL" ]
 
 let vhe_app () =
-  let normalized p w =
+  let normalized (p, w) =
     match w with
     | "TCP_RR" ->
         (Netperf.run_tcp_rr (Platform.hypervisor p Platform.Kvm))
@@ -132,10 +216,16 @@ let vhe_app () =
         (App_model.run workload (Platform.hypervisor p Platform.Kvm))
           .App_model.normalized
   in
-  List.map
-    (fun w ->
-      (w, normalized Platform.Arm_m400 w, normalized Platform.Arm_m400_vhe w))
-    [ "TCP_RR"; "Apache"; "Memcached"; "MySQL" ]
+  let cells =
+    List.concat_map
+      (fun w -> [ (Platform.Arm_m400, w); (Platform.Arm_m400_vhe, w) ])
+      vhe_app_workloads
+  in
+  let values = Runner.map normalized cells in
+  List.map2
+    (fun w row ->
+      match row with [ split; vhe ] -> (w, split, vhe) | _ -> assert false)
+    vhe_app_workloads (chunks 2 values)
 
 (* --- irqdist ------------------------------------------------------ *)
 
@@ -146,36 +236,47 @@ type irqdist_row = {
 }
 
 let irqdist () =
-  let for_hyp hyp_name id =
-    let rows =
-      List.map
-        (fun w ->
-          let hyp = Platform.hypervisor Platform.Arm_m400 id in
-          let single = App_model.run ~irq_distribution:Single_vcpu w hyp in
-          let dist = App_model.run ~irq_distribution:All_vcpus w hyp in
-          {
-            ablation_workload = w.Workload.name;
-            single_pct = App_model.overhead_percent single;
-            distributed_pct = App_model.overhead_percent dist;
-          })
-        [ Workload.apache; Workload.memcached ]
-    in
-    (hyp_name, rows)
+  let cell (id, w) =
+    let hyp = Platform.hypervisor Platform.Arm_m400 id in
+    let single = App_model.run ~irq_distribution:Single_vcpu w hyp in
+    let dist = App_model.run ~irq_distribution:All_vcpus w hyp in
+    {
+      ablation_workload = w.Workload.name;
+      single_pct = App_model.overhead_percent single;
+      distributed_pct = App_model.overhead_percent dist;
+    }
   in
-  [ for_hyp "KVM ARM" Platform.Kvm; for_hyp "Xen ARM" Platform.Xen ]
+  let rows =
+    Runner.map cell
+      [
+        (Platform.Kvm, Workload.apache);
+        (Platform.Kvm, Workload.memcached);
+        (Platform.Xen, Workload.apache);
+        (Platform.Xen, Workload.memcached);
+      ]
+  in
+  match chunks 2 rows with
+  | [ kvm; xen ] -> [ ("KVM ARM", kvm); ("Xen ARM", xen) ]
+  | _ -> assert false
 
 (* --- pinning ------------------------------------------------------ *)
 
 let pinning ?iterations () =
-  let run pin label =
-    let xen = Platform.xen_arm ~pinning:pin () in
-    let rows = micro_rows ?iterations (H.Xen_arm.to_hypervisor xen) in
-    (label, List.assoc "I/O Latency Out" rows, List.assoc "I/O Latency In" rows)
-  in
-  [
-    run H.Xen_arm.Separate "Dom0/DomU on separate PCPUs (paper config)";
-    run H.Xen_arm.Shared "Dom0/DomU sharing PCPUs";
-  ]
+  Runner.map
+    (fun (pin, tuning, label) ->
+      let rows =
+        micro_cell ?iterations ~platform:"arm" ~hyp:"xen" ~tuning (fun () ->
+            H.Xen_arm.to_hypervisor (Platform.xen_arm ~pinning:pin ()))
+      in
+      ( label,
+        List.assoc "I/O Latency Out" rows,
+        List.assoc "I/O Latency In" rows ))
+    [
+      ( H.Xen_arm.Separate,
+        "pin-separate",
+        "Dom0/DomU on separate PCPUs (paper config)" );
+      (H.Xen_arm.Shared, "pin-shared", "Dom0/DomU sharing PCPUs");
+    ]
 
 (* --- zerocopy ----------------------------------------------------- *)
 
@@ -185,6 +286,9 @@ type zerocopy_row = {
   stream_norm : float;
 }
 
+(* Not runner jobs: both configurations deliberately share one simulated
+   machine (only the I/O profile differs), so the cells are not
+   independent and run serially. *)
 let zerocopy () =
   let xen = Platform.xen_arm () in
   let base = H.Xen_arm.to_hypervisor xen in
@@ -211,54 +315,70 @@ let x86_zero_copy_break_even () =
 
 (* --- extension experiments ---------------------------------------- *)
 
-let arm_hypervisors () =
-  [
-    ("KVM ARM", Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
-    ("Xen ARM", Platform.hypervisor Platform.Arm_m400 Platform.Xen);
-  ]
+let arm_hypervisor_ids = [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
 
 let oversub () =
-  List.map
-    (fun (name, hyp) ->
+  Runner.map
+    (fun (name, id) ->
       ( name,
-        W.Oversub.sweep hyp ~vms:[ 1; 2; 4 ]
-          ~timeslices_ms:[ 1.0; 30.0 ] ~work_ms_per_vcpu:100.0 ))
-    (arm_hypervisors ())
+        W.Oversub.sweep
+          (Platform.hypervisor Platform.Arm_m400 id)
+          ~vms:[ 1; 2; 4 ] ~timeslices_ms:[ 1.0; 30.0 ] ~work_ms_per_vcpu:100.0
+      ))
+    arm_hypervisor_ids
 
 let disk () =
-  let on_device platform device =
-    List.map
-      (fun hyp -> W.Diskbench.run hyp ~device)
+  let cells =
+    List.concat_map
+      (fun (platform, device) ->
+        List.map
+          (fun build -> (build, device))
+          [
+            (fun () -> Platform.native platform);
+            (fun () -> Platform.hypervisor platform Platform.Kvm);
+            (fun () -> Platform.hypervisor platform Platform.Xen);
+          ])
       [
-        Platform.native platform;
-        Platform.hypervisor platform Platform.Kvm;
-        Platform.hypervisor platform Platform.Xen;
+        (Platform.Arm_m400, Armvirt_io.Blk_device.ssd_sata3);
+        (Platform.X86_r320, Armvirt_io.Blk_device.raid5_hd);
       ]
   in
-  on_device Platform.Arm_m400 Armvirt_io.Blk_device.ssd_sata3
-  @ on_device Platform.X86_r320 Armvirt_io.Blk_device.raid5_hd
+  Runner.map (fun (build, device) -> W.Diskbench.run (build ()) ~device) cells
+
+let tail_configs =
+  [
+    ("native", fun () -> Platform.native Platform.Arm_m400);
+    ("kvm", fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+    ("xen", fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+  ]
 
 let tail () =
-  List.map
-    (fun load ->
-      ( load,
-        List.map
-          (fun hyp -> W.Tail_latency.run hyp ~load)
-          [
-            Platform.native Platform.Arm_m400;
-            Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
-            Platform.hypervisor Platform.Arm_m400 Platform.Xen;
-          ] ))
-    [ 0.3; 0.6; 0.8 ]
+  let loads = [ 0.3; 0.6; 0.8 ] in
+  let cells =
+    List.concat_map
+      (fun load -> List.map (fun (h, build) -> (load, h, build)) tail_configs)
+      loads
+  in
+  let results =
+    Runner.map
+      (fun (load, h, build) ->
+        let seed =
+          cell_seed ~platform:"arm" ~hyp:h
+            ~tuning:(Printf.sprintf "tail-%.1f" load) ()
+        in
+        W.Tail_latency.run ~seed (build ()) ~load)
+      cells
+  in
+  List.map2 (fun load row -> (load, row)) loads (chunks 3 results)
 
 let coldstart () =
-  List.map
-    (fun hyp -> W.Coldstart.run hyp ~pages:8192)
+  Runner.map
+    (fun build -> W.Coldstart.run (build ()) ~pages:8192)
     [
-      Platform.native Platform.Arm_m400;
-      Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
-      Platform.hypervisor Platform.Arm_m400 Platform.Xen;
-      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm;
+      (fun () -> Platform.native Platform.Arm_m400);
+      (fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+      (fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+      (fun () -> Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm);
     ]
 
 (* GICv2 vs GICv3 vs +VHE: how much of Table II is interrupt-controller
@@ -269,30 +389,36 @@ let gicv3 () =
     Armvirt_arch.Machine.create sim ~cost:(Armvirt_arch.Cost_model.Arm cost)
       ~num_cpus:8
   in
-  let kvm_on cost =
+  let kvm_on cost () =
     H.Kvm_arm.to_hypervisor (H.Kvm_arm.create (machine_of cost))
   in
-  let xen_on cost =
+  let xen_on cost () =
     H.Xen_arm.to_hypervisor (H.Xen_arm.create (machine_of cost))
   in
-  List.map
-    (fun (label, hyp) -> (label, micro_rows ~iterations:2 hyp))
+  Runner.map
+    (fun (label, hyp, tuning, build) ->
+      ( label,
+        micro_cell ~iterations:2 ~platform:"arm" ~hyp ~tuning build ))
     [
-      ("KVM, GICv2 (measured)", kvm_on Armvirt_arch.Cost_model.arm_default);
-      ("KVM, GICv3", kvm_on Armvirt_arch.Cost_model.arm_gicv3);
-      ("KVM, GICv3 + VHE", kvm_on Armvirt_arch.Cost_model.arm_gicv3_vhe);
-      ("Xen, GICv2 (measured)", xen_on Armvirt_arch.Cost_model.arm_default);
-      ("Xen, GICv3", xen_on Armvirt_arch.Cost_model.arm_gicv3);
+      ( "KVM, GICv2 (measured)", "kvm", "gicv2",
+        kvm_on Armvirt_arch.Cost_model.arm_default );
+      ("KVM, GICv3", "kvm", "gicv3", kvm_on Armvirt_arch.Cost_model.arm_gicv3);
+      ( "KVM, GICv3 + VHE", "kvm", "gicv3-vhe",
+        kvm_on Armvirt_arch.Cost_model.arm_gicv3_vhe );
+      ( "Xen, GICv2 (measured)", "xen", "gicv2",
+        xen_on Armvirt_arch.Cost_model.arm_default );
+      ("Xen, GICv3", "xen", "gicv3", xen_on Armvirt_arch.Cost_model.arm_gicv3);
     ]
 
 let ticks () =
-  List.concat_map
-    (fun hyp -> W.Timer_tick.sweep hyp ~hz:[ 100; 250; 1000 ])
-    [
-      Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
-      Platform.hypervisor Platform.Arm_m400 Platform.Xen;
-      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm;
-    ]
+  List.concat
+    (Runner.map
+       (fun build -> W.Timer_tick.sweep (build ()) ~hz:[ 100; 250; 1000 ])
+       [
+         (fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+         (fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+         (fun () -> Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm);
+       ])
 
 type linkspeed_row = {
   ls_config : string;
@@ -302,60 +428,83 @@ type linkspeed_row = {
 }
 
 let linkspeed () =
-  List.concat_map
-    (fun (name, id) ->
-      List.map
-        (fun wire ->
-          let r =
-            W.Netperf.tcp_stream ~wire_gbps:wire
-              (Platform.hypervisor Platform.Arm_m400 id)
-          in
-          {
-            ls_config = name;
-            ls_wire_gbps = wire;
-            ls_gbps = Float.min wire r.W.Netperf.gbps;
-            ls_normalized = Float.max 1.0 (wire /. r.W.Netperf.gbps);
-          })
-        [ 0.94; 9.42 ])
-    [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
+  let cells =
+    List.concat_map
+      (fun (name, id) -> List.map (fun wire -> (name, id, wire)) [ 0.94; 9.42 ])
+      arm_hypervisor_ids
+  in
+  Runner.map
+    (fun (name, id, wire) ->
+      let r =
+        W.Netperf.tcp_stream ~wire_gbps:wire
+          (Platform.hypervisor Platform.Arm_m400 id)
+      in
+      {
+        ls_config = name;
+        ls_wire_gbps = wire;
+        ls_gbps = Float.min wire r.W.Netperf.gbps;
+        ls_normalized = Float.max 1.0 (wire /. r.W.Netperf.gbps);
+      })
+    cells
 
 let isolation () =
-  let kvm () = Platform.hypervisor Platform.Arm_m400 Platform.Kvm in
-  [
-    W.Isolation.run ~interference:false (kvm ());
-    W.Isolation.run ~interference:true (kvm ());
-  ]
+  Runner.map
+    (fun interference ->
+      let seed =
+        cell_seed ~platform:"arm" ~hyp:"kvm"
+          ~tuning:(if interference then "noisy" else "isolated")
+          ()
+      in
+      W.Isolation.run ~seed ~interference
+        (Platform.hypervisor Platform.Arm_m400 Platform.Kvm))
+    [ false; true ]
 
 let guestops () =
-  [
-    ("Native", W.Guest_ops.measure (Platform.native Platform.Arm_m400));
-    ("KVM ARM", W.Guest_ops.measure (Platform.hypervisor Platform.Arm_m400 Platform.Kvm));
-    ("Xen ARM", W.Guest_ops.measure (Platform.hypervisor Platform.Arm_m400 Platform.Xen));
-    ( "KVM ARM (VHE)",
-      W.Guest_ops.measure (Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm) );
-    ("KVM x86", W.Guest_ops.measure (Platform.hypervisor Platform.X86_r320 Platform.Kvm));
-  ]
+  Runner.map
+    (fun (label, build) -> (label, W.Guest_ops.measure (build ())))
+    [
+      ("Native", fun () -> Platform.native Platform.Arm_m400);
+      ( "KVM ARM",
+        fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Kvm );
+      ( "Xen ARM",
+        fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Xen );
+      ( "KVM ARM (VHE)",
+        fun () -> Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm );
+      ( "KVM x86",
+        fun () -> Platform.hypervisor Platform.X86_r320 Platform.Kvm );
+    ]
 
 let multiqueue () =
   let apache = Option.get (Workload.find "Apache") in
-  List.map
-    (fun (name, id) ->
-      ( name,
-        List.map
-          (fun queues ->
-            let hyp = Platform.hypervisor Platform.Arm_m400 id in
-            ( queues,
-              (App_model.run ~irq_distribution:(App_model.Spread queues)
-                 apache hyp)
-                .App_model.normalized ))
-          [ 1; 2; 3; 4 ] ))
-    [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
+  let queue_counts = [ 1; 2; 3; 4 ] in
+  let cells =
+    List.concat_map
+      (fun (_, id) -> List.map (fun queues -> (id, queues)) queue_counts)
+      arm_hypervisor_ids
+  in
+  let values =
+    Runner.map
+      (fun (id, queues) ->
+        let hyp = Platform.hypervisor Platform.Arm_m400 id in
+        ( queues,
+          (App_model.run ~irq_distribution:(App_model.Spread queues) apache hyp)
+            .App_model.normalized ))
+      cells
+  in
+  List.map2
+    (fun (name, _) row -> (name, row))
+    arm_hypervisor_ids
+    (chunks (List.length queue_counts) values)
 
 let tracereplay () =
-  List.map
+  Runner.map
     (fun (name, id) ->
-      (name, W.Trace_replay.run (Platform.hypervisor Platform.Arm_m400 id)))
-    [ ("KVM ARM", Platform.Kvm); ("Xen ARM", Platform.Xen) ]
+      let seed =
+        cell_seed ~platform:"arm" ~hyp:(hyp_id_string id) ~tuning:"tracereplay"
+          ()
+      in
+      (name, W.Trace_replay.run ~seed (Platform.hypervisor Platform.Arm_m400 id)))
+    arm_hypervisor_ids
 
 type twodwalk_row = {
   tw_config : string;
@@ -407,60 +556,88 @@ let x86_vapic_hw =
   { Armvirt_arch.Cost_model.x86_default with Armvirt_arch.Cost_model.vapic = true }
 
 let vapic () =
-  List.map
-    (fun (label, hyp) -> (label, micro_rows ~iterations:2 hyp))
+  Runner.map
+    (fun (label, hyp, tuning, build) ->
+      ( label,
+        micro_cell ~iterations:2 ~platform:"x86" ~hyp ~tuning build ))
     [
-      ( "KVM x86 (E5-2450, no vAPIC)",
-        Platform.hypervisor Platform.X86_r320 Platform.Kvm );
-      ( "KVM x86 + vAPIC",
-        H.Kvm_x86.to_hypervisor
-          (H.Kvm_x86.create (x86_machine_with x86_vapic_hw)) );
-      ( "Xen x86 (E5-2450, no vAPIC)",
-        Platform.hypervisor Platform.X86_r320 Platform.Xen );
-      ( "Xen x86 + vAPIC",
-        H.Xen_x86.to_hypervisor
-          (H.Xen_x86.create (x86_machine_with x86_vapic_hw)) );
+      ( "KVM x86 (E5-2450, no vAPIC)", "kvm", "",
+        fun () -> Platform.hypervisor Platform.X86_r320 Platform.Kvm );
+      ( "KVM x86 + vAPIC", "kvm", "vapic",
+        fun () ->
+          H.Kvm_x86.to_hypervisor (H.Kvm_x86.create (x86_machine_with x86_vapic_hw))
+      );
+      ( "Xen x86 (E5-2450, no vAPIC)", "xen", "",
+        fun () -> Platform.hypervisor Platform.X86_r320 Platform.Xen );
+      ( "Xen x86 + vAPIC", "xen", "vapic",
+        fun () ->
+          H.Xen_x86.to_hypervisor (H.Xen_x86.create (x86_machine_with x86_vapic_hw))
+      );
     ]
+
+let vapic_apps_workloads = [ "Apache"; "Memcached"; "MySQL" ]
 
 let vapic_apps () =
   let normalized hyp name =
     (App_model.run (Option.get (Workload.find name)) hyp).App_model.normalized
   in
-  let stock () = Platform.hypervisor Platform.X86_r320 Platform.Kvm in
-  let vapic () =
-    H.Kvm_x86.to_hypervisor (H.Kvm_x86.create (x86_machine_with x86_vapic_hw))
+  let cells =
+    List.concat_map
+      (fun name -> [ (name, `Stock); (name, `Vapic) ])
+      vapic_apps_workloads
   in
-  List.map
-    (fun name -> (name, normalized (stock ()) name, normalized (vapic ()) name))
-    [ "Apache"; "Memcached"; "MySQL" ]
+  let values =
+    Runner.map
+      (fun (name, config) ->
+        let hyp =
+          match config with
+          | `Stock -> Platform.hypervisor Platform.X86_r320 Platform.Kvm
+          | `Vapic ->
+              H.Kvm_x86.to_hypervisor
+                (H.Kvm_x86.create (x86_machine_with x86_vapic_hw))
+        in
+        normalized hyp name)
+      cells
+  in
+  List.map2
+    (fun name row ->
+      match row with
+      | [ stock; vapic ] -> (name, stock, vapic)
+      | _ -> assert false)
+    vapic_apps_workloads (chunks 2 values)
 
 let crosscall () =
-  List.map
-    (fun hyp -> W.Crosscall.run hyp)
+  Runner.map
+    (fun build -> W.Crosscall.run (build ()))
     [
-      Platform.native Platform.Arm_m400;
-      Platform.hypervisor Platform.Arm_m400 Platform.Kvm;
-      Platform.hypervisor Platform.Arm_m400 Platform.Xen;
-      Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm;
-      Platform.hypervisor Platform.X86_r320 Platform.Kvm;
-      Platform.hypervisor Platform.X86_r320 Platform.Xen;
+      (fun () -> Platform.native Platform.Arm_m400);
+      (fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
+      (fun () -> Platform.hypervisor Platform.Arm_m400 Platform.Xen);
+      (fun () -> Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm);
+      (fun () -> Platform.hypervisor Platform.X86_r320 Platform.Kvm);
+      (fun () -> Platform.hypervisor Platform.X86_r320 Platform.Xen);
     ]
 
 let lazyswitch () =
-  let kvm_with tuning =
+  let kvm_with tuning () =
     H.Kvm_arm.to_hypervisor
       (H.Kvm_arm.create ~tuning (Platform.machine Platform.Arm_m400))
   in
   let stock = H.Kvm_arm.default_tuning in
-  List.map
-    (fun (label, hyp) -> (label, micro_rows ~iterations:2 hyp))
+  Runner.map
+    (fun (label, tuning, build) ->
+      ( label,
+        micro_cell ~iterations:2 ~platform:"arm" ~hyp:"kvm" ~tuning build ))
     [
-      ("stock (paper's KVM)", kvm_with stock);
-      ("lazy FP", kvm_with { stock with H.Kvm_arm.lazy_fp = true });
-      ("lazy VGIC", kvm_with { stock with H.Kvm_arm.lazy_vgic = true });
-      ( "lazy FP + VGIC",
+      ("stock (paper's KVM)", "lazy-none", kvm_with stock);
+      ( "lazy FP", "lazy-fp",
+        kvm_with { stock with H.Kvm_arm.lazy_fp = true } );
+      ( "lazy VGIC", "lazy-vgic",
+        kvm_with { stock with H.Kvm_arm.lazy_vgic = true } );
+      ( "lazy FP + VGIC", "lazy-fp-vgic",
         kvm_with { stock with H.Kvm_arm.lazy_fp = true; lazy_vgic = true } );
-      ("VHE (for reference)", Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm);
+      ( "VHE (for reference)", "lazy-vhe-ref",
+        fun () -> Platform.hypervisor Platform.Arm_m400_vhe Platform.Kvm );
     ]
 
 type consolidation_row = {
@@ -480,7 +657,7 @@ let consolidation () =
   let per_unit_ops = 10_000.0 in
   let host_cores = 4.0 in
   let arm_hz = 2.4e9 in
-  let row name id vms =
+  let row (name, id, vms) =
     let hyp = Platform.hypervisor Platform.Arm_m400 id in
     let p = hyp.Armvirt_hypervisor.Hypervisor.io_profile in
     let verdict = App_model.run w hyp in
@@ -530,10 +707,11 @@ let consolidation () =
          else "guest CPU pool");
     }
   in
-  List.concat_map
-    (fun vms ->
-      [ row "KVM ARM" Platform.Kvm vms; row "Xen ARM" Platform.Xen vms ])
-    [ 1; 2; 4; 8 ]
+  Runner.map row
+    (List.concat_map
+       (fun vms ->
+         [ ("KVM ARM", Platform.Kvm, vms); ("Xen ARM", Platform.Xen, vms) ])
+       [ 1; 2; 4; 8 ])
 
 type structural_row = {
   st_config : string;
@@ -553,19 +731,19 @@ let structural () =
       st_agreement_pct = st_structural /. st_analytic *. 100.0;
     }
   in
-  let rr name hyp_s hyp_a =
-    let s = Armvirt_system.Rr_system.run ~transactions:80 hyp_s in
-    let a = Netperf.run_tcp_rr ~transactions:80 hyp_a in
+  let rr name build () =
+    let s = Armvirt_system.Rr_system.run ~transactions:80 (build ()) in
+    let a = Netperf.run_tcp_rr ~transactions:80 (build ()) in
     row name "TCP_RR us/trans" s.Armvirt_system.Rr_system.time_per_trans_us
       a.Netperf.time_per_trans_us
   in
-  let stream name hyp_s hyp_a =
-    let s = Armvirt_system.Stream_system.run ~frames:2000 hyp_s in
-    let a = Netperf.tcp_stream hyp_a in
+  let stream name build () =
+    let s = Armvirt_system.Stream_system.run ~frames:2000 (build ()) in
+    let a = Netperf.tcp_stream (build ()) in
     row name "TCP_STREAM Gb/s" s.Armvirt_system.Stream_system.gbps
       a.Netperf.gbps
   in
-  let hackbench name id =
+  let hackbench name id () =
     let s =
       Armvirt_system.Hackbench_system.run
         (Platform.hypervisor Platform.Arm_m400 id)
@@ -579,28 +757,26 @@ let structural () =
     row name "Hackbench normalized"
       s.Armvirt_system.Hackbench_system.normalized a
   in
-  [
-    rr "Native" (Platform.native Platform.Arm_m400)
-      (Platform.native Platform.Arm_m400);
-    rr "KVM ARM"
-      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm)
-      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
-    rr "Xen ARM"
-      (Platform.hypervisor Platform.Arm_m400 Platform.Xen)
-      (Platform.hypervisor Platform.Arm_m400 Platform.Xen);
-    stream "KVM ARM"
-      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm)
-      (Platform.hypervisor Platform.Arm_m400 Platform.Kvm);
-    stream "Xen ARM"
-      (Platform.hypervisor Platform.Arm_m400 Platform.Xen)
-      (Platform.hypervisor Platform.Arm_m400 Platform.Xen);
-    hackbench "KVM ARM" Platform.Kvm;
-    hackbench "Xen ARM" Platform.Xen;
-  ]
+  let native () = Platform.native Platform.Arm_m400 in
+  let kvm () = Platform.hypervisor Platform.Arm_m400 Platform.Kvm in
+  let xen () = Platform.hypervisor Platform.Arm_m400 Platform.Xen in
+  Runner.map
+    (fun cell -> cell ())
+    [
+      rr "Native" native;
+      rr "KVM ARM" kvm;
+      rr "Xen ARM" xen;
+      stream "KVM ARM" kvm;
+      stream "Xen ARM" xen;
+      hackbench "KVM ARM" Platform.Kvm;
+      hackbench "Xen ARM" Platform.Xen;
+    ]
 
 let lrs () =
-  List.map
-    (fun (name, hyp) ->
-      (name, W.Lr_sensitivity.sweep hyp ~lrs:[ 1; 2; 4; 8; 16 ] ~burst_size:12
-         ~bursts:1000))
-    (arm_hypervisors ())
+  Runner.map
+    (fun (name, id) ->
+      ( name,
+        W.Lr_sensitivity.sweep
+          (Platform.hypervisor Platform.Arm_m400 id)
+          ~lrs:[ 1; 2; 4; 8; 16 ] ~burst_size:12 ~bursts:1000 ))
+    arm_hypervisor_ids

@@ -13,6 +13,24 @@ type quad_f = {
   q_xen_x86 : float option;
 }
 
+(** {1 Parallelism and memoization}
+
+    Every experiment expresses its independent simulation cells as
+    {!Runner} jobs: cells fan out over OCaml 5 domains (see
+    [--jobs] / [ARMVIRT_JOBS]) and merge deterministically, so results
+    are identical at every parallelism level. Microbenchmark columns are
+    additionally memoized process-wide, keyed by
+    [(platform, hyp, tuning, iterations)]: [table2], [vhe], [pinning],
+    [gicv3], [vapic] and [lazyswitch] share identical columns instead of
+    recomputing them per artifact. *)
+
+val reset_memo : unit -> unit
+(** Drops the shared microbenchmark memo table (benchmarks call this
+    between timed runs so iterations don't measure cache hits). *)
+
+val memo_stats : unit -> int * int
+(** [(hits, misses)] of the shared memo table since process start. *)
+
 (** {1 table2 — microbenchmarks} *)
 
 type table2_row = { micro : string; measured : Paper_data.quad }

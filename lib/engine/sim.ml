@@ -99,7 +99,11 @@ let run_until t limit =
     match Heap.peek t.events with
     | Some (time, _, _) when time <= limit -> ignore (step t)
     | Some _ | None -> continue_running := false
-  done
+  done;
+  (* Advance the clock to the horizon even if no event landed exactly on
+     it, so a subsequent [schedule]/[now] observes [limit], not the time
+     of the last drained event. *)
+  if limit > t.now then t.now <- limit
 
 let delay c =
   let c = Cycles.to_int c in
@@ -148,21 +152,20 @@ end
 module Mailbox = struct
   type 'a t = {
     queue : 'a Queue.t;
-    mutable takers : ('a -> unit) list; (* FIFO: append on park *)
+    takers : ('a -> unit) Queue.t; (* FIFO: push on park, pop on send *)
   }
 
-  let create (_ : sim_handle) = { queue = Queue.create (); takers = [] }
+  let create (_ : sim_handle) =
+    { queue = Queue.create (); takers = Queue.create () }
 
   let send mb v =
-    match mb.takers with
-    | wake :: rest ->
-        mb.takers <- rest;
-        wake v
-    | [] -> Queue.push v mb.queue
+    match Queue.take_opt mb.takers with
+    | Some wake -> wake v
+    | None -> Queue.push v mb.queue
 
   let recv mb =
     if Queue.is_empty mb.queue then
-      suspend (fun wake -> mb.takers <- mb.takers @ [ wake ])
+      suspend (fun wake -> Queue.push wake mb.takers)
     else Queue.pop mb.queue
 
   let try_recv mb = Queue.take_opt mb.queue
@@ -172,23 +175,21 @@ end
 module Resource = struct
   type t = {
     mutable available : int;
-    mutable waiters : (unit -> unit) list;
+    waiters : (unit -> unit) Queue.t; (* FIFO: push on park, pop on release *)
   }
 
   let create (_ : sim_handle) ~capacity =
     if capacity < 1 then invalid_arg "Sim.Resource.create: capacity < 1";
-    { available = capacity; waiters = [] }
+    { available = capacity; waiters = Queue.create () }
 
   let acquire r =
     if r.available > 0 then r.available <- r.available - 1
-    else suspend (fun wake -> r.waiters <- r.waiters @ [ wake ])
+    else suspend (fun wake -> Queue.push wake r.waiters)
 
   let release r =
-    match r.waiters with
-    | wake :: rest ->
-        r.waiters <- rest;
-        wake ()
-    | [] -> r.available <- r.available + 1
+    match Queue.take_opt r.waiters with
+    | Some wake -> wake ()
+    | None -> r.available <- r.available + 1
 
   let available r = r.available
 

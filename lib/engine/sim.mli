@@ -31,7 +31,9 @@ val run : t -> unit
     blocked processes remain when the event queue drains. *)
 
 val run_until : t -> Cycles.t -> unit
-(** [run_until t limit] runs events with timestamp [<= limit], then stops.
+(** [run_until t limit] runs events with timestamp [<= limit], then stops
+    with the clock advanced to [limit] (so a subsequent {!now} or
+    [schedule] observes the horizon, not the last drained event time).
     Blocked processes are not a deadlock here; they may be waiting for
     events beyond the horizon. *)
 

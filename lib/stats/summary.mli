@@ -31,8 +31,11 @@ val coefficient_of_variation : t -> float
     requiring this to be small for microbenchmark samples. *)
 
 val ci95 : t -> float * float
-(** A normal-approximation 95% confidence interval on the mean
-    ([mean ± 1.96 · sd/√n]); degenerate (point) for singletons. *)
+(** A 95% confidence interval on the mean ([mean ± t·sd/√n]). For
+    [n < 30] the critical value is the two-tailed Student-t quantile for
+    [n-1] degrees of freedom (small microbenchmark samples would be
+    overconfident under the normal approximation); for [n ≥ 30] it is
+    the normal 1.96. Degenerate (point) for singletons. *)
 
 val median_cycles : t -> Armvirt_engine.Cycles.t
 (** Median rounded to a whole cycle count, for table rendering. *)

@@ -92,6 +92,34 @@ let test_heap_peek () =
   | _ -> Alcotest.fail "peek should return minimum without removing");
   Alcotest.(check int) "size unchanged" 1 (Heap.size h)
 
+let prop_heap_random_pairs =
+  (* Push arbitrary (time, seq) pairs and check the popped key sequence
+     equals the sorted key list, with every payload accounted for. In
+     the simulator seq is a unique global counter, so we inject
+     uniqueness the same way: the push index breaks the random seq. *)
+  QCheck.Test.make ~name:"heap pops equal stable sort of (time, seq)"
+    QCheck.(list (pair (int_bound 100) (int_bound 100)))
+    (fun pairs ->
+      let n = List.length pairs in
+      let h = Heap.create () in
+      List.iteri
+        (fun i (time, seq) -> Heap.push h ~time ~seq:((seq * n) + i) i)
+        pairs;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, s, v) -> drain ((t, s, v) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let expected =
+        List.mapi (fun i (t, s) -> (t, (s * n) + i, i)) pairs
+        |> List.stable_sort (fun (t1, s1, _) (t2, s2, _) ->
+               match Int.compare t1 t2 with
+               | 0 -> Int.compare s1 s2
+               | c -> c)
+      in
+      popped = expected)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted by (time, seq)"
     QCheck.(list (int_bound 1000))
@@ -239,6 +267,56 @@ let test_sim_run_until () =
   Alcotest.(check (list int)) "rest completes" [ 10; 20; 30; 40; 50 ]
     (List.rev !log)
 
+let test_sim_run_until_advances_clock () =
+  (* Regression: run_until used to leave [now] at the last drained
+     event's time instead of the horizon, so a later [schedule] relative
+     to [now] fired too early. *)
+  let sim = Sim.create () in
+  Sim.spawn sim ~name:"early" (fun () -> Sim.delay (cycles_of 10));
+  Sim.run_until sim (cycles_of 25);
+  Alcotest.(check int) "clock at horizon, not last event" 25
+    (Cycles.to_int (Sim.now sim));
+  (* A horizon with no events at all must still advance the clock. *)
+  Sim.run_until sim (cycles_of 40);
+  Alcotest.(check int) "empty drain still advances" 40
+    (Cycles.to_int (Sim.now sim))
+
+let test_sim_mailbox_recv_fairness () =
+  (* Many consumers park before any value arrives; sends must wake them
+     in park (spawn) order, not reversed or shuffled. *)
+  let sim = Sim.create () in
+  let mb = Sim.Mailbox.create sim in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Sim.spawn sim ~name:(Printf.sprintf "consumer%d" i) (fun () ->
+        let v = Sim.Mailbox.recv mb in
+        log := (i, v) :: !log)
+  done;
+  Sim.spawn sim ~name:"producer" (fun () ->
+      Sim.delay (cycles_of 5);
+      for v = 100 to 104 do
+        Sim.Mailbox.send mb v
+      done);
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "first parked consumer gets first value"
+    [ (0, 100); (1, 101); (2, 102); (3, 103); (4, 104) ]
+    (List.rev !log)
+
+let test_sim_resource_acquire_fairness () =
+  (* A capacity-1 resource with many waiters must grant in park order. *)
+  let sim = Sim.create () in
+  let r = Sim.Resource.create sim ~capacity:1 in
+  let order = ref [] in
+  for i = 0 to 4 do
+    Sim.spawn sim ~name:(Printf.sprintf "user%d" i) (fun () ->
+        Sim.Resource.use r (cycles_of 10);
+        order := i :: !order)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO grant order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
 let test_sim_spawn_here () =
   let sim = Sim.create () in
   let child_time = ref Cycles.zero in
@@ -342,7 +420,7 @@ let () =
           Alcotest.test_case "fifo at same time" `Quick test_heap_fifo_at_same_time;
           Alcotest.test_case "peek" `Quick test_heap_peek;
         ]
-        @ qcheck [ prop_heap_sorted ] );
+        @ qcheck [ prop_heap_sorted; prop_heap_random_pairs ] );
       ( "sim",
         [
           Alcotest.test_case "delay advances time" `Quick test_sim_delay_advances_time;
@@ -359,6 +437,12 @@ let () =
             test_sim_resource_capacity_two;
           Alcotest.test_case "deadlock detection" `Quick test_sim_deadlock_detection;
           Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "run_until advances clock" `Quick
+            test_sim_run_until_advances_clock;
+          Alcotest.test_case "mailbox recv fairness" `Quick
+            test_sim_mailbox_recv_fairness;
+          Alcotest.test_case "resource acquire fairness" `Quick
+            test_sim_resource_acquire_fairness;
           Alcotest.test_case "spawn_here" `Quick test_sim_spawn_here;
           Alcotest.test_case "yield fairness" `Quick test_sim_yield_is_fair;
           Alcotest.test_case "exception propagates" `Quick

@@ -1,0 +1,147 @@
+(* Tests for Armvirt_core.Runner: the parallel experiment runner must be
+   deterministic (identical results at every parallelism level), its
+   memo table must cache correctly, and cell keys must hash stably. *)
+
+module Runner = Armvirt_core.Runner
+module Experiment = Armvirt_core.Experiment
+
+(* --- Runner.map ----------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  let squares = Runner.map ~jobs:4 (fun x -> x * x) (List.init 37 Fun.id) in
+  Alcotest.(check (list int)) "input order" (List.init 37 (fun i -> i * i))
+    squares
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Runner.map ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Runner.map ~jobs:4 (fun x -> x + 2) [ 7 ])
+
+let test_map_matches_list_map () =
+  let xs = List.init 100 (fun i -> i * 3) in
+  let f x = (x * 7) mod 11 in
+  Alcotest.(check (list int)) "jobs=1 = jobs=4 = List.map" (List.map f xs)
+    (Runner.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "parallel agrees" (List.map f xs)
+    (Runner.map ~jobs:4 f xs)
+
+let test_map_raises_lowest_index_error () =
+  let f x = if x mod 3 = 0 && x > 0 then failwith (string_of_int x) else x in
+  (* Indices 3, 6, 9... all fail; index 3's exception must win no matter
+     how the domains were scheduled. *)
+  match Runner.map ~jobs:4 f (List.init 20 Fun.id) with
+  | _ -> Alcotest.fail "expected a failure to propagate"
+  | exception Failure msg -> Alcotest.(check string) "lowest index" "3" msg
+
+let test_set_jobs_validation () =
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Runner.set_jobs: jobs < 1") (fun () ->
+      Runner.set_jobs 0);
+  Runner.set_jobs 3;
+  Alcotest.(check int) "set/get" 3 (Runner.jobs ());
+  Runner.set_jobs 1
+
+(* --- Key ------------------------------------------------------------ *)
+
+let test_key_seed_stable () =
+  let k = Runner.Key.v ~platform:"arm" ~hyp:"kvm" ~iterations:10 () in
+  let k' = Runner.Key.v ~platform:"arm" ~hyp:"kvm" ~iterations:10 () in
+  Alcotest.(check int) "same key, same seed" (Runner.Key.seed k)
+    (Runner.Key.seed k');
+  Alcotest.(check bool) "positive" true (Runner.Key.seed k > 0);
+  let other = Runner.Key.v ~platform:"arm" ~hyp:"xen" ~iterations:10 () in
+  Alcotest.(check bool) "different key, different seed" true
+    (Runner.Key.seed k <> Runner.Key.seed other);
+  let tuned = Runner.Key.v ~platform:"arm" ~hyp:"kvm" ~tuning:"vhe" () in
+  Alcotest.(check bool) "tuning discriminates" true
+    (Runner.Key.seed k <> Runner.Key.seed tuned)
+
+(* --- Memo ----------------------------------------------------------- *)
+
+let test_memo_caches () =
+  let t = Runner.Memo.create () in
+  let calls = ref 0 in
+  let k = Runner.Key.v ~platform:"arm" ~hyp:"kvm" () in
+  let compute () = incr calls; 42 in
+  Alcotest.(check int) "first" 42 (Runner.Memo.find_or_compute t k compute);
+  Alcotest.(check int) "second" 42 (Runner.Memo.find_or_compute t k compute);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "one hit" 1 (Runner.Memo.hits t);
+  Alcotest.(check int) "one miss" 1 (Runner.Memo.misses t);
+  Runner.Memo.clear t;
+  Alcotest.(check int) "recomputed after clear" 42
+    (Runner.Memo.find_or_compute t k compute);
+  Alcotest.(check int) "clear drops entries" 2 !calls;
+  Alcotest.(check int) "stats survive clear" 2 (Runner.Memo.misses t)
+
+(* --- Experiment determinism across parallelism levels --------------- *)
+
+let with_jobs n f =
+  let saved = Runner.jobs () in
+  Runner.set_jobs n;
+  Fun.protect ~finally:(fun () -> Runner.set_jobs saved) f
+
+let run_at_jobs n artifact =
+  with_jobs n (fun () ->
+      Experiment.reset_memo ();
+      artifact ())
+
+let test_table2_deterministic () =
+  let serial = run_at_jobs 1 Experiment.table2 in
+  let parallel = run_at_jobs 4 Experiment.table2 in
+  Alcotest.(check bool) "table2 records identical at jobs 1 and 4" true
+    (serial = parallel)
+
+let test_fig4_deterministic () =
+  let serial = run_at_jobs 1 Experiment.fig4 in
+  let parallel = run_at_jobs 4 Experiment.fig4 in
+  Alcotest.(check bool) "fig4 records identical at jobs 1 and 4" true
+    (serial = parallel)
+
+let test_experiment_memo_hits () =
+  Experiment.reset_memo ();
+  let hits0, misses0 = Experiment.memo_stats () in
+  ignore (Experiment.table2 ());
+  let _, misses1 = Experiment.memo_stats () in
+  Alcotest.(check bool) "cold table2 misses" true (misses1 > misses0);
+  ignore (Experiment.table2 ());
+  let hits2, misses2 = Experiment.memo_stats () in
+  Alcotest.(check bool) "warm table2 hits the cache" true (hits2 > hits0);
+  Alcotest.(check int) "warm table2 adds no misses" misses1 misses2;
+  Experiment.reset_memo ()
+
+let prop_map_equals_list_map =
+  QCheck.Test.make ~name:"map agrees with List.map at any jobs level"
+    QCheck.(pair (int_range 1 8) (list (int_bound 1000)))
+    (fun (jobs, xs) ->
+      Runner.map ~jobs (fun x -> (x * 31) lxor 5) xs
+      = List.map (fun x -> (x * 31) lxor 5) xs)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "runner"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "matches List.map" `Quick test_map_matches_list_map;
+          Alcotest.test_case "lowest-index error" `Quick
+            test_map_raises_lowest_index_error;
+          Alcotest.test_case "set_jobs validation" `Quick
+            test_set_jobs_validation;
+        ]
+        @ qcheck [ prop_map_equals_list_map ] );
+      ("key", [ Alcotest.test_case "seed stable" `Quick test_key_seed_stable ]);
+      ("memo", [ Alcotest.test_case "caches" `Quick test_memo_caches ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "table2 jobs 1 = jobs 4" `Quick
+            test_table2_deterministic;
+          Alcotest.test_case "fig4 jobs 1 = jobs 4" `Quick
+            test_fig4_deterministic;
+          Alcotest.test_case "memo hit accounting" `Quick
+            test_experiment_memo_hits;
+        ] );
+    ]

@@ -43,6 +43,32 @@ let test_summary_stddev () =
   Alcotest.(check (float 1e-6)) "sample stddev" (sqrt (32.0 /. 7.0))
     (Summary.stddev s)
 
+let test_summary_ci95_student_t () =
+  (* n = 4 < 30: the half-width must use t(0.975, df=3) = 3.182, not
+     z = 1.96. Sample [1;2;3;4]: mean 2.5, sample sd = sqrt(5/3). *)
+  let s = Summary.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  let lo, hi = Summary.ci95 s in
+  let sd = sqrt (5.0 /. 3.0) in
+  let half = 3.182 *. sd /. 2.0 in
+  Alcotest.(check (float 1e-6)) "lower" (2.5 -. half) lo;
+  Alcotest.(check (float 1e-6)) "upper" (2.5 +. half) hi;
+  (* n = 2, the widest interval: t(0.975, df=1) = 12.706. *)
+  let s2 = Summary.of_list [ 10.0; 20.0 ] in
+  let lo2, hi2 = Summary.ci95 s2 in
+  let half2 = 12.706 *. Summary.stddev s2 /. sqrt 2.0 in
+  Alcotest.(check (float 1e-6)) "n=2 lower" (15.0 -. half2) lo2;
+  Alcotest.(check (float 1e-6)) "n=2 upper" (15.0 +. half2) hi2
+
+let test_summary_ci95_normal_for_large_n () =
+  (* n >= 30 keeps the normal approximation: half = 1.96 * sd / sqrt n. *)
+  let values = List.init 30 (fun i -> float_of_int i) in
+  let s = Summary.of_list values in
+  let lo, hi = Summary.ci95 s in
+  let half = 1.96 *. Summary.stddev s /. sqrt 30.0 in
+  Alcotest.(check (float 1e-6)) "half-width" half ((hi -. lo) /. 2.0);
+  Alcotest.(check (float 1e-6)) "centered on mean" (Summary.mean s)
+    ((hi +. lo) /. 2.0)
+
 let test_summary_of_cycles () =
   let s = Summary.of_cycles [ Cycles.of_int 10; Cycles.of_int 20 ] in
   Alcotest.(check int) "median cycles" 15
@@ -195,6 +221,10 @@ let () =
           Alcotest.test_case "singleton" `Quick test_summary_singleton;
           Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
           Alcotest.test_case "stddev" `Quick test_summary_stddev;
+          Alcotest.test_case "ci95 Student-t for small n" `Quick
+            test_summary_ci95_student_t;
+          Alcotest.test_case "ci95 normal for large n" `Quick
+            test_summary_ci95_normal_for_large_n;
           Alcotest.test_case "of_cycles" `Quick test_summary_of_cycles;
         ]
         @ qcheck [ prop_summary_median_bounded; prop_summary_percentile_monotone ]
