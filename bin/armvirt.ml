@@ -5,11 +5,15 @@
      run           regenerate paper tables/figures by experiment id
      micro         run the Table I microbenchmark suite on one hypervisor
      app           run one application workload through the Figure 4 model
-     rr            run the Netperf TCP_RR decomposition on one hypervisor *)
+     rr            run the Netperf TCP_RR decomposition on one hypervisor
+     trace         run an experiment under the tracer and export the trace *)
 
 module Platform = Armvirt_core.Platform
 module Experiment = Armvirt_core.Experiment
 module Report = Armvirt_core.Report
+module Observe = Armvirt_core.Observe
+module Export = Armvirt_obs.Export
+module Metrics = Armvirt_obs.Metrics
 module W = Armvirt_workloads
 module Hypervisor = Armvirt_hypervisor.Hypervisor
 
@@ -94,6 +98,84 @@ let apply_jobs = function
   | Some n -> Armvirt_core.Runner.set_jobs n
   | None -> ()
 
+(* --- tracing plumbing ------------------------------------------------- *)
+
+let format_conv =
+  Arg.enum [ ("chrome", `Chrome); ("csv", `Csv); ("summary", `Summary) ]
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of the run and write it to $(docv) as \
+           Chrome trace-event JSON (open in Perfetto or chrome://tracing). \
+           Use $(b,-) for stdout.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ]
+        ~doc:
+          "After the run, print runner metrics: memo hits/misses, per-cell \
+           wall time, and the full metric registry in Prometheus text \
+           format.")
+
+(* Direct workload paths (micro/app/rr) never go through Runner.map, so
+   they record themselves as one explicit cell. No-op when tracing is
+   off. *)
+let traced_cell label f =
+  let v, cell = Observe.capture ~label f in
+  Observe.record_cells [| cell |];
+  v
+
+let write_trace ppf ~format path =
+  let procs = Observe.processes () in
+  let render out =
+    match format with
+    | `Chrome -> Export.chrome out procs
+    | `Csv -> Export.csv out procs
+    | `Summary -> Export.summary out procs
+  in
+  match path with
+  | "-" -> render Format.std_formatter
+  | path ->
+      let oc = open_out path in
+      let out = Format.formatter_of_out_channel oc in
+      render out;
+      Format.pp_print_flush out ();
+      close_out oc;
+      let events =
+        List.fold_left
+          (fun acc (p : Export.process) -> acc + List.length p.events)
+          0 procs
+      in
+      Format.fprintf ppf "wrote %s (%d cells, %d events)@." path
+        (List.length procs) events
+
+let print_verbose ppf =
+  let hits, misses = Experiment.memo_stats () in
+  Format.fprintf ppf "@.-- runner metrics --@.";
+  Format.fprintf ppf "memo: %d hits, %d misses@." hits misses;
+  Metrics.pp_prometheus ppf (Observe.metrics ())
+
+(* Tracing and [--verbose] share a session: both need the metric
+   registry populated, tracing additionally exports the span ring. *)
+let with_session ~context ~trace_file ~verbose f =
+  if trace_file = None && not verbose then f ()
+  else begin
+    Observe.enable ~context ();
+    Observe.set_verbose verbose;
+    Fun.protect ~finally:Observe.disable (fun () ->
+        let v = f () in
+        (match trace_file with
+        | Some path -> write_trace ppf ~format:`Chrome path
+        | None -> ());
+        if verbose then print_verbose ppf;
+        v)
+  end
+
 (* --- list ------------------------------------------------------------- *)
 
 let experiments =
@@ -152,7 +234,7 @@ let list_cmd =
 
 (* --- run ---------------------------------------------------------------- *)
 
-let run_experiment = function
+let run_experiment ppf = function
   | "table2" -> Report.pp_table2 ppf (Experiment.table2 ())
   | "table3" -> Report.pp_table3 ppf (Experiment.table3 ())
   | "table5" -> Report.pp_table5 ppf (Experiment.table5 ())
@@ -196,13 +278,14 @@ let run_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see `armvirt list`).")
   in
-  let run jobs ids =
+  let run jobs trace_file verbose ids =
     apply_jobs jobs;
-    List.iter run_experiment ids
+    with_session ~context:(String.concat "+" ids) ~trace_file ~verbose
+      (fun () -> List.iter (run_experiment ppf) ids)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ jobs_arg $ ids)
+    Term.(const run $ jobs_arg $ trace_file_arg $ verbose_arg $ ids)
 
 (* --- micro ---------------------------------------------------------------- *)
 
@@ -212,19 +295,28 @@ let micro_cmd =
       value & opt int 32
       & info [ "iterations" ] ~docv:"N" ~doc:"Iterations per microbenchmark.")
   in
-  let run platform hyp iterations jobs =
+  let run platform hyp iterations jobs trace_file =
     apply_jobs jobs;
-    let hypervisor = resolve platform hyp in
-    Format.fprintf ppf "%s on %s@." hypervisor.Hypervisor.name
-      (Platform.name platform);
-    let rows = W.Microbench.to_rows (W.Microbench.run ~iterations hypervisor) in
-    List.iter
-      (fun (name, cycles) -> Format.fprintf ppf "  %-28s %8d cycles@." name cycles)
-      rows
+    with_session ~context:"micro" ~trace_file ~verbose:false (fun () ->
+        (* The hypervisor (and its machine) must be built inside the
+           captured cell so the tracer attaches to it. *)
+        traced_cell "micro#0.0" (fun () ->
+            let hypervisor = resolve platform hyp in
+            Format.fprintf ppf "%s on %s@." hypervisor.Hypervisor.name
+              (Platform.name platform);
+            let rows =
+              W.Microbench.to_rows (W.Microbench.run ~iterations hypervisor)
+            in
+            List.iter
+              (fun (name, cycles) ->
+                Format.fprintf ppf "  %-28s %8d cycles@." name cycles)
+              rows))
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run the Table I microbenchmark suite")
-    Term.(const run $ platform_arg $ hyp_arg $ iterations $ jobs_arg)
+    Term.(
+      const run $ platform_arg $ hyp_arg $ iterations $ jobs_arg
+      $ trace_file_arg)
 
 (* --- app ------------------------------------------------------------------- *)
 
@@ -240,8 +332,10 @@ let app_cmd =
       & info [ "distribute-irqs" ]
           ~doc:"Spread virtual interrupts across all VCPUs (section V ablation).")
   in
-  let run platform hyp name distribute jobs =
+  let run platform hyp name distribute jobs trace_file =
     apply_jobs jobs;
+    with_session ~context:"app" ~trace_file ~verbose:false @@ fun () ->
+    traced_cell "app#0.0" @@ fun () ->
     let hypervisor = resolve platform hyp in
     match String.uppercase_ascii name with
     | "TCP_RR" ->
@@ -278,7 +372,9 @@ let app_cmd =
   in
   Cmd.v
     (Cmd.info "app" ~doc:"Run one application workload (Figure 4 model)")
-    Term.(const run $ platform_arg $ hyp_arg $ workload $ distribute $ jobs_arg)
+    Term.(
+      const run $ platform_arg $ hyp_arg $ workload $ distribute $ jobs_arg
+      $ trace_file_arg)
 
 (* --- rr ---------------------------------------------------------------------- *)
 
@@ -288,7 +384,9 @@ let rr_cmd =
       value & opt int 400
       & info [ "transactions" ] ~docv:"N" ~doc:"Transactions to simulate.")
   in
-  let run platform hyp transactions =
+  let run platform hyp transactions trace_file =
+    with_session ~context:"rr" ~trace_file ~verbose:false @@ fun () ->
+    traced_cell "rr#0.0" @@ fun () ->
     let hypervisor = resolve platform hyp in
     let r = W.Netperf.run_tcp_rr ~transactions hypervisor in
     Format.fprintf ppf "%s TCP_RR (%d transactions)@." hypervisor.Hypervisor.name
@@ -307,7 +405,63 @@ let rr_cmd =
   in
   Cmd.v
     (Cmd.info "rr" ~doc:"Netperf TCP_RR latency decomposition (Table V)")
-    Term.(const run $ platform_arg $ hyp_arg $ transactions)
+    Term.(const run $ platform_arg $ hyp_arg $ transactions $ trace_file_arg)
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let target =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "What to trace: any experiment id from `armvirt list`, or \
+             $(b,rr) / $(b,micro) for the direct workload paths (honouring \
+             $(b,-p)/$(b,-H)).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file; $(b,-) (default) writes to stdout.")
+  in
+  let format =
+    Arg.(
+      value & opt format_conv `Chrome
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Export format: $(b,chrome) (trace-event JSON for \
+             Perfetto/chrome://tracing), $(b,csv), or $(b,summary) \
+             (flame-style cycle attribution by category).")
+  in
+  (* The experiment's normal report goes to a null formatter: the trace
+     is this command's output. *)
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let run platform hyp jobs target out format =
+    apply_jobs jobs;
+    Observe.enable ~context:target ();
+    Fun.protect ~finally:Observe.disable (fun () ->
+        (match target with
+        | "rr" ->
+            traced_cell "rr#0.0" (fun () ->
+                let hypervisor = resolve platform hyp in
+                ignore (W.Netperf.run_tcp_rr hypervisor))
+        | "micro" ->
+            traced_cell "micro#0.0" (fun () ->
+                let hypervisor = resolve platform hyp in
+                ignore (W.Microbench.run hypervisor))
+        | id when List.mem_assoc id experiments -> run_experiment null_ppf id
+        | other ->
+            Format.fprintf ppf "unknown experiment %S; try `armvirt list`@."
+              other;
+            exit 2);
+        write_trace ppf ~format out)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an experiment under the tracer and export the trace")
+    Term.(
+      const run $ platform_arg $ hyp_arg $ jobs_arg $ target $ out $ format)
 
 (* --- timeline ------------------------------------------------------------ *)
 
@@ -400,6 +554,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; timeline_cmd;
-            report_cmd;
+            list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
+            timeline_cmd; report_cmd;
           ]))

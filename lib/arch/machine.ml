@@ -11,18 +11,38 @@ type t = {
   cpus : pcpu array;
   mutable observer :
     (label:string -> cycles:int -> now:Cycles.t -> unit) option;
+  mutable obs_observer :
+    (label:string -> cycles:int -> now:Cycles.t -> unit) option;
 }
+
+(* Process-wide hook run on every [create], so a tracing session can
+   attach to machines it never sees constructed (experiments build their
+   machines internally). *)
+let create_hook : (t -> unit) option ref = ref None
+
+let set_create_hook h = create_hook := h
 
 let create sim ~cost ~num_cpus =
   if num_cpus < 1 then invalid_arg "Machine.create: num_cpus < 1";
-  let make_cpu id = { id; exclusive = Sim.Resource.create sim ~capacity:1 } in
-  {
-    sim;
-    cost;
-    counters = Counter.create_set ();
-    cpus = Array.init num_cpus make_cpu;
-    observer = None;
-  }
+  let make_cpu id =
+    {
+      id;
+      exclusive =
+        Sim.Resource.create ~name:(Printf.sprintf "pcpu%d" id) sim ~capacity:1;
+    }
+  in
+  let t =
+    {
+      sim;
+      cost;
+      counters = Counter.create_set ();
+      cpus = Array.init num_cpus make_cpu;
+      observer = None;
+      obs_observer = None;
+    }
+  in
+  (match !create_hook with None -> () | Some h -> h t);
+  t
 
 let sim t = t.sim
 let cost t = t.cost
@@ -38,13 +58,17 @@ let pcpu_id cpu = cpu.id
 let exclusive cpu = cpu.exclusive
 
 let observe t observer = t.observer <- observer
+let observe_obs t observer = t.obs_observer <- observer
 
 let spend t label cycles =
   if cycles < 0 then invalid_arg "Machine.spend: negative cycles";
   Counter.add t.counters label cycles;
   Counter.add t.counters "cycles" cycles;
   Sim.delay (Cycles.of_int cycles);
-  match t.observer with
+  (match t.observer with
+  | Some notify -> notify ~label ~cycles ~now:(Sim.current_time ())
+  | None -> ());
+  match t.obs_observer with
   | Some notify -> notify ~label ~cycles ~now:(Sim.current_time ())
   | None -> ()
 

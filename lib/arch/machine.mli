@@ -43,6 +43,18 @@ val observe :
     {!Armvirt_stats.Trace} to reconstruct operation timelines without
     touching the hypervisor paths. *)
 
+val observe_obs :
+  t -> (label:string -> cycles:int -> now:Armvirt_engine.Cycles.t -> unit) option -> unit
+(** A second, independent observer slot with the same contract as
+    {!observe}, reserved for the structured tracing layer so it can
+    coexist with a user-installed {!Armvirt_stats.Trace} observer. *)
+
+val set_create_hook : (t -> unit) option -> unit
+(** Installs (or clears) a process-wide hook invoked on every {!create}
+    with the new machine. Lets a tracing session instrument machines that
+    experiments construct internally. Not domain-scoped: set it before
+    spawning runner domains and clear it after. *)
+
 val count : t -> string -> unit
 (** Increment an event counter without consuming time. *)
 

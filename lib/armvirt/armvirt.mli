@@ -16,6 +16,10 @@ module Engine = Armvirt_engine
 (** Deterministic discrete-event simulation: {!Armvirt_engine.Sim},
     {!Armvirt_engine.Cycles}, {!Armvirt_engine.Rng}. *)
 
+module Obs = Armvirt_obs
+(** Structured observability: span tracing, Chrome/Perfetto export,
+    labelled metric registries. *)
+
 module Stats = Armvirt_stats
 (** Summaries, histograms, counters, barriered cycle counters, traces. *)
 

@@ -1,0 +1,189 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+module Span = Armvirt_obs.Span
+module Tracer = Armvirt_obs.Tracer
+module Metrics = Armvirt_obs.Metrics
+module Export = Armvirt_obs.Export
+
+type cell = {
+  label : string;
+  events : Span.event list;
+  dropped : int;
+  metrics : Metrics.t;
+}
+
+(* One live collector per domain: the runner executes each cell on one
+   domain, and [capture] scopes a collector to the cell so concurrent
+   cells never share a tracer. *)
+type live = {
+  tracer : Tracer.t;
+  cell_metrics : Metrics.t;
+  mutable machines : int;
+}
+
+let live_key : live option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let default_capacity = 1 lsl 18
+
+let enabled = ref false
+let verbose_flag = ref false
+let ring_capacity = ref default_capacity
+let context_name = ref "run"
+let map_seq = Atomic.make 0
+
+(* Everything below the lock is shared across runner domains. *)
+let lock = Mutex.create ()
+let sink : cell list ref = ref [] (* newest first *)
+let global = ref (Metrics.create ())
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let active () = !enabled
+let set_verbose v = verbose_flag := v
+let verbose () = !verbose_flag
+let context () = !context_name
+let next_map_seq () = Atomic.fetch_and_add map_seq 1
+
+(* --- machine instrumentation --------------------------------------- *)
+
+let attach live m =
+  let idx = live.machines in
+  live.machines <- idx + 1;
+  let prefix = if idx = 0 then "" else Printf.sprintf "m%d:" idx in
+  let tracer = live.tracer and metrics = live.cell_metrics in
+  Machine.observe_obs m
+    (Some
+       (fun ~label ~cycles ~now ->
+         let now = Cycles.to_int now in
+         let cat = Span.of_label label in
+         Tracer.complete tracer ~track:(prefix ^ "cpu") ~cat ~name:label
+           ~ts:(now - cycles) ~dur:cycles;
+         Metrics.incr metrics
+           ~labels:[ ("category", Span.category_to_string cat) ]
+           ~by:cycles "spend_cycles_total"));
+  (* Park times keyed by pid so blocked spans pair correctly even when
+     several processes share a display name. *)
+  let parked : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  Sim.set_observer (Machine.sim m)
+    (Some
+       {
+         Sim.on_spawn =
+           (fun ~id:_ ~name ~at ->
+             Tracer.instant tracer ~track:(prefix ^ name) ~cat:Span.Sched
+               ~name:"spawn" ~ts:at;
+             Metrics.incr metrics "sim_processes_spawned_total");
+         on_park = (fun ~id ~name:_ ~at -> Hashtbl.replace parked id at);
+         on_wake =
+           (fun ~id ~name ~at ->
+             match Hashtbl.find_opt parked id with
+             | None -> ()
+             | Some t0 ->
+                 Hashtbl.remove parked id;
+                 if at > t0 then
+                   Tracer.complete tracer ~track:(prefix ^ name)
+                     ~cat:Span.Sched ~name:"blocked" ~ts:t0 ~dur:(at - t0));
+         on_contention =
+           (fun ~resource ~proc ~at ~waited ->
+             Tracer.complete tracer ~track:(prefix ^ proc) ~cat:Span.Sched
+               ~name:("contention:" ^ resource) ~ts:at ~dur:waited;
+             Metrics.observe metrics
+               ~labels:[ ("resource", resource) ]
+               "sim_contention_wait_cycles" (float_of_int waited));
+         on_queue_depth =
+           (fun ~mailbox ~at ~depth ->
+             Tracer.value tracer ~track:(prefix ^ "mb:" ^ mailbox)
+               ~cat:Span.Io ~name:mailbox ~ts:at ~value:depth;
+             Metrics.observe metrics
+               ~labels:[ ("mailbox", mailbox) ]
+               "sim_mailbox_depth" (float_of_int depth));
+       })
+
+let machine_hook m =
+  match Domain.DLS.get live_key with
+  | None -> () (* machine built outside any captured cell: untraced *)
+  | Some live -> attach live m
+
+(* --- session lifecycle --------------------------------------------- *)
+
+let enable ?(capacity = default_capacity) ~context () =
+  locked (fun () ->
+      sink := [];
+      global := Metrics.create ());
+  context_name := context;
+  Atomic.set map_seq 0;
+  ring_capacity := capacity;
+  enabled := true;
+  Machine.set_create_hook (Some machine_hook)
+
+and disable () =
+  enabled := false;
+  Machine.set_create_hook None
+
+let capture ~label f =
+  if not !enabled then (f (), None)
+  else
+    match Domain.DLS.get live_key with
+    | Some _ ->
+        (* Nested capture (e.g. an experiment's own Runner.map inside a
+           traced cell): attribute everything to the enclosing cell. *)
+        (f (), None)
+    | None ->
+        let live =
+          {
+            tracer = Tracer.create ~capacity:!ring_capacity ();
+            cell_metrics = Metrics.create ();
+            machines = 0;
+          }
+        in
+        Domain.DLS.set live_key (Some live);
+        let t0 = Unix.gettimeofday () in
+        let finish () = Domain.DLS.set live_key None in
+        let result = try Ok (f ()) with e -> Error e in
+        finish ();
+        (match result with
+        | Error e -> raise e
+        | Ok v ->
+            Metrics.set_gauge live.cell_metrics
+              ~labels:[ ("cell", label) ]
+              "cell_wall_seconds"
+              (Unix.gettimeofday () -. t0);
+            ( v,
+              Some
+                {
+                  label;
+                  events = Tracer.events live.tracer;
+                  dropped = Tracer.dropped live.tracer;
+                  metrics = live.cell_metrics;
+                } ))
+
+let record_cells captured =
+  if !enabled then
+    locked (fun () ->
+        Array.iter
+          (function
+            | None -> ()
+            | Some c ->
+                sink := c :: !sink;
+                Metrics.merge_into ~dst:!global c.metrics)
+          captured)
+
+let cells () = locked (fun () -> List.rev !sink)
+
+let processes () =
+  List.mapi
+    (fun i (c : cell) ->
+      { Export.pid = i; name = c.label; events = c.events; dropped = c.dropped })
+    (cells ())
+
+let metrics () = locked (fun () -> !global)
+
+let note_memo_hit () =
+  if !enabled then
+    locked (fun () -> Metrics.incr !global "runner_memo_hits_total")
+
+let note_memo_miss () =
+  if !enabled then
+    locked (fun () -> Metrics.incr !global "runner_memo_misses_total")

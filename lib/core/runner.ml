@@ -43,12 +43,11 @@ let set_jobs n =
 let jobs () =
   match !current_jobs with Some n -> n | None -> default_jobs ()
 
-let map ?jobs:j f cells =
-  let jobs = match j with Some n -> Stdlib.max 1 n | None -> jobs () in
+let map_indexed ~jobs g cells =
   match cells with
   | [] -> []
-  | [ cell ] -> [ f cell ]
-  | cells when jobs = 1 -> List.map f cells
+  | [ cell ] -> [ g 0 cell ]
+  | cells when jobs = 1 -> List.mapi g cells
   | cells ->
       let input = Array.of_list cells in
       let n = Array.length input in
@@ -64,7 +63,7 @@ let map ?jobs:j f cells =
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue_stealing := false
           else
-            match f input.(i) with
+            match g i input.(i) with
             | v -> results.(i) <- Some v
             | exception e -> errors.(i) <- Some e
         done
@@ -78,6 +77,31 @@ let map ?jobs:j f cells =
         (Array.map
            (function Some v -> v | None -> assert false (* all slots filled *))
            results)
+
+let map ?jobs:j f cells =
+  let jobs = match j with Some n -> Stdlib.max 1 n | None -> jobs () in
+  if not (Observe.active ()) then map_indexed ~jobs (fun _ x -> f x) cells
+  else begin
+    (* Tracing session: wrap every cell in a capture so its spans and
+       metrics collect on the executing domain, then record the cells in
+       input order — the trace is independent of [jobs]. *)
+    let n = List.length cells in
+    let captured = Array.make (Stdlib.max n 1) None in
+    let seq = Observe.next_map_seq () in
+    let label i = Printf.sprintf "%s#%d.%d" (Observe.context ()) seq i in
+    let g i x =
+      let v, cell = Observe.capture ~label:(label i) (fun () -> f x) in
+      captured.(i) <- cell;
+      v
+    in
+    match map_indexed ~jobs g cells with
+    | results ->
+        Observe.record_cells captured;
+        results
+    | exception e ->
+        Observe.record_cells captured;
+        raise e
+  end
 
 module Memo = struct
   type 'a table = {
@@ -99,7 +123,9 @@ module Memo = struct
       v
     in
     match cached with
-    | Some v -> v
+    | Some v ->
+        Observe.note_memo_hit ();
+        v
     | None ->
         (* Compute outside the lock: cells are expensive and independent.
            On a concurrent double-compute the first store wins, so every
@@ -115,6 +141,7 @@ module Memo = struct
               v
         in
         Mutex.unlock t.lock;
+        Observe.note_memo_miss ();
         stored
 
   let clear t =

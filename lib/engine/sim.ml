@@ -1,3 +1,11 @@
+type observer = {
+  on_spawn : id:int -> name:string -> at:int -> unit;
+  on_park : id:int -> name:string -> at:int -> unit;
+  on_wake : id:int -> name:string -> at:int -> unit;
+  on_contention : resource:string -> proc:string -> at:int -> waited:int -> unit;
+  on_queue_depth : mailbox:string -> at:int -> depth:int -> unit;
+}
+
 type t = {
   mutable now : int;
   mutable seq : int;
@@ -5,6 +13,8 @@ type t = {
   mutable blocked : (int * string) list;
       (* processes parked in [suspend]: (id, name), for deadlock reports *)
   mutable next_pid : int;
+  mutable observer : observer option;
+      (* [None] keeps every scheduling path allocation-free *)
 }
 
 exception Deadlock of string
@@ -14,9 +24,19 @@ type _ Effect.t +=
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
   | Now : int Effect.t
   | Spawn : (string option * (unit -> unit)) -> unit Effect.t
+  | Whoami : string Effect.t
 
 let create () =
-  { now = 0; seq = 0; events = Heap.create (); blocked = []; next_pid = 0 }
+  {
+    now = 0;
+    seq = 0;
+    events = Heap.create ();
+    blocked = [];
+    next_pid = 0;
+    observer = None;
+  }
+
+let set_observer t obs = t.observer <- obs
 
 let now t = Cycles.of_int t.now
 
@@ -36,6 +56,9 @@ let rec start t name f =
   let pname =
     match name with Some n -> n | None -> Printf.sprintf "process-%d" pid
   in
+  (match t.observer with
+  | None -> ()
+  | Some o -> o.on_spawn ~id:pid ~name:pname ~at:t.now);
   let open Effect.Deep in
   match_with f ()
     {
@@ -58,6 +81,9 @@ let rec start t name f =
               Some
                 (fun k ->
                   t.blocked <- (pid, pname) :: t.blocked;
+                  (match t.observer with
+                  | None -> ()
+                  | Some o -> o.on_park ~id:pid ~name:pname ~at:t.now);
                   let woken = ref false in
                   let wake v =
                     if !woken then
@@ -66,9 +92,13 @@ let rec start t name f =
                     woken := true;
                     t.blocked <-
                       List.filter (fun (id, _) -> id <> pid) t.blocked;
+                    (match t.observer with
+                    | None -> ()
+                    | Some o -> o.on_wake ~id:pid ~name:pname ~at:t.now);
                     schedule t ~at:t.now (fun () -> continue k v)
                   in
                   register wake)
+          | Whoami -> Some (fun k -> continue k pname)
           | _ -> None);
     }
 
@@ -149,42 +179,75 @@ module Signal = struct
   let waiters s = List.length s.waiters
 end
 
+let whoami () =
+  try Effect.perform Whoami with Effect.Unhandled _ -> "main"
+
 module Mailbox = struct
   type 'a t = {
+    sim : sim_handle;
+    mb_name : string;
     queue : 'a Queue.t;
     takers : ('a -> unit) Queue.t; (* FIFO: push on park, pop on send *)
   }
 
-  let create (_ : sim_handle) =
-    { queue = Queue.create (); takers = Queue.create () }
+  let create ?(name = "mailbox") (sim : sim_handle) =
+    { sim; mb_name = name; queue = Queue.create (); takers = Queue.create () }
+
+  let depth_changed mb =
+    match mb.sim.observer with
+    | None -> ()
+    | Some o ->
+        o.on_queue_depth ~mailbox:mb.mb_name ~at:mb.sim.now
+          ~depth:(Queue.length mb.queue)
 
   let send mb v =
-    match Queue.take_opt mb.takers with
+    (match Queue.take_opt mb.takers with
     | Some wake -> wake v
-    | None -> Queue.push v mb.queue
+    | None -> Queue.push v mb.queue);
+    depth_changed mb
 
   let recv mb =
     if Queue.is_empty mb.queue then
       suspend (fun wake -> Queue.push wake mb.takers)
-    else Queue.pop mb.queue
+    else begin
+      let v = Queue.pop mb.queue in
+      depth_changed mb;
+      v
+    end
 
-  let try_recv mb = Queue.take_opt mb.queue
+  let try_recv mb =
+    match Queue.take_opt mb.queue with
+    | None -> None
+    | Some v ->
+        depth_changed mb;
+        Some v
+
   let length mb = Queue.length mb.queue
 end
 
 module Resource = struct
   type t = {
+    sim : sim_handle;
+    r_name : string;
     mutable available : int;
     waiters : (unit -> unit) Queue.t; (* FIFO: push on park, pop on release *)
   }
 
-  let create (_ : sim_handle) ~capacity =
+  let create ?(name = "resource") (sim : sim_handle) ~capacity =
     if capacity < 1 then invalid_arg "Sim.Resource.create: capacity < 1";
-    { available = capacity; waiters = Queue.create () }
+    { sim; r_name = name; available = capacity; waiters = Queue.create () }
 
   let acquire r =
     if r.available > 0 then r.available <- r.available - 1
-    else suspend (fun wake -> Queue.push wake r.waiters)
+    else begin
+      let parked_at = r.sim.now in
+      suspend (fun wake -> Queue.push wake r.waiters);
+      match r.sim.observer with
+      | None -> ()
+      | Some o ->
+          o.on_contention ~resource:r.r_name ~proc:(whoami ()) ~at:parked_at
+            ~waited:(r.sim.now - parked_at)
+    end
 
   let release r =
     match Queue.take_opt r.waiters with

@@ -1,0 +1,93 @@
+type category =
+  | Trap
+  | Vmexit
+  | Irq
+  | Stage2
+  | Io
+  | Sched
+  | Runner
+  | Other
+
+let all = [ Trap; Vmexit; Irq; Stage2; Io; Sched; Runner; Other ]
+
+let category_to_string = function
+  | Trap -> "trap"
+  | Vmexit -> "vmexit"
+  | Irq -> "irq"
+  | Stage2 -> "stage2"
+  | Io -> "io"
+  | Sched -> "sched"
+  | Runner -> "runner"
+  | Other -> "other"
+
+let category_of_string = function
+  | "trap" -> Some Trap
+  | "vmexit" -> Some Vmexit
+  | "irq" -> Some Irq
+  | "stage2" -> Some Stage2
+  | "io" -> Some Io
+  | "sched" -> Some Sched
+  | "runner" -> Some Runner
+  | "other" -> Some Other
+  | _ -> None
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i j = j = nn || (haystack.[i + j] = needle.[j] && at i (j + 1)) in
+  let rec go i = i + nn <= nh && (at i 0 || go (i + 1)) in
+  nn = 0 || go 0
+
+(* First-match classification of the cost-model labels priced through
+   Machine.spend ("kvm_arm.vcpu_resume", "netperf.host_rx_path", ...).
+   Rules are ordered: world-switch costs beat trap costs beat interrupt
+   costs, so a label like "arm.trap_to_el2" lands in [Trap] while
+   "kvm_arm.process_switch" lands in [Vmexit]. *)
+let rules =
+  [
+    (Vmexit,
+     [ "vmexit"; "vmentry"; "vcpu_resume"; "process_switch"; "world_switch";
+       "vmswitch"; "eret"; "dom0_upcall" ]);
+    (Trap,
+     [ "trap"; "hvc"; "vmcall"; "hypercall"; "mmio"; "emul"; "dispatch";
+       "decode" ]);
+    (Irq,
+     [ "irq"; "vgic"; "evtchn"; "upcall"; "eoi"; "sgi"; "ipi"; "tick";
+       "timer"; "apic"; "icr"; "crosscall" ]);
+    (Stage2,
+     [ "stage2"; "page_map"; "tlb"; "coldstart"; "grant"; "fault"; "walk" ]);
+    (Io,
+     [ "netperf"; "rr_system"; "stream_system"; "maerts_system";
+       "disk_system"; "rx"; "tx"; "blk"; "backend"; "notify"; "kick";
+       "copy"; "frame"; "wire"; "dma"; "vhost"; "signal"; "nic"; "net" ]);
+    (Sched, [ "sched"; "steal"; "idle"; "park"; "wake"; "spawn"; "blocked" ]);
+    (Runner, [ "runner"; "memo"; "cell" ]);
+  ]
+
+let of_label label =
+  let label = String.lowercase_ascii label in
+  let matches (_, needles) = List.exists (contains label) needles in
+  match List.find_opt matches rules with
+  | Some (cat, _) -> cat
+  | None -> Other
+
+type kind = Complete of int | Instant | Value of int
+
+type event = {
+  ts : int;
+  track : string;
+  cat : category;
+  name : string;
+  kind : kind;
+}
+
+let duration e = match e.kind with Complete d -> d | Instant | Value _ -> 0
+
+let pp_event ppf e =
+  let kind =
+    match e.kind with
+    | Complete d -> Printf.sprintf "dur=%d" d
+    | Instant -> "instant"
+    | Value v -> Printf.sprintf "value=%d" v
+  in
+  Format.fprintf ppf "@%d [%s/%s] %s (%s)" e.ts e.track
+    (category_to_string e.cat) e.name kind

@@ -1,0 +1,46 @@
+(** Span recorder: nested begin/end regions and point events on named
+    tracks, buffered in a {!Ring}.
+
+    A track is one timeline row — a simulated process, CPU or device.
+    Each track carries its own span stack, so [begin_span]/[end_span]
+    pairs nest per track exactly the way a process's blocked/running
+    regions nest in time. Events land in a single ring in recording
+    order; exporters ({!Export}) re-sort by start time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained events (see {!Ring.create}); omitted
+    means unbounded. *)
+
+val complete :
+  t -> track:string -> cat:Span.category -> name:string -> ts:int ->
+  dur:int -> unit
+(** Records a finished span: started at [ts], lasted [dur] cycles.
+    Raises [Invalid_argument] on a negative duration. *)
+
+val instant :
+  t -> track:string -> cat:Span.category -> name:string -> ts:int -> unit
+
+val value :
+  t -> track:string -> cat:Span.category -> name:string -> ts:int ->
+  value:int -> unit
+(** Records a sampled value (queue depth, counter level) at [ts]. *)
+
+val begin_span :
+  t -> track:string -> cat:Span.category -> name:string -> ts:int -> unit
+(** Pushes an open span onto [track]'s stack. *)
+
+val end_span : t -> track:string -> ts:int -> unit
+(** Pops [track]'s innermost open span and records it as a complete
+    event from its begin time to [ts]. Raises [Invalid_argument] if the
+    track has no open span. *)
+
+val open_spans : t -> track:string -> int
+
+val events : t -> Span.event list
+(** In recording order (chronological by completion). *)
+
+val length : t -> int
+val dropped : t -> int
+val clear : t -> unit

@@ -1,35 +1,43 @@
 module Cycles = Armvirt_engine.Cycles
+module Ring = Armvirt_obs.Ring
 
 type event = { at : Cycles.t; label : string; cycles : int }
 
-type t = { mutable events : event list (* newest first *) }
+(* Events live in a growable ring in arrival order: [record] is
+   amortized O(1), [length] is O(1), and [events] needs no reversal —
+   unlike the original newest-first list representation. *)
+type t = { ring : event Ring.t; mutable total : int }
 
-let create () = { events = [] }
+let create () = { ring = Ring.create (); total = 0 }
 
 let record t ~label ~cycles ~now =
-  t.events <- { at = now; label; cycles } :: t.events
+  Ring.push t.ring { at = now; label; cycles };
+  t.total <- t.total + cycles
 
-let events t = List.rev t.events
-let length t = List.length t.events
-let clear t = t.events <- []
+let events t = Ring.to_list t.ring
+let length t = Ring.length t.ring
 
-let total_cycles t =
-  List.fold_left (fun acc e -> acc + e.cycles) 0 t.events
+let clear t =
+  Ring.clear t.ring;
+  t.total <- 0
+
+let total_cycles t = t.total
 
 let by_label t =
   let table = Hashtbl.create 16 in
-  List.iter
+  Ring.iter
     (fun e ->
       Hashtbl.replace table e.label
         (Option.value ~default:0 (Hashtbl.find_opt table e.label) + e.cycles))
-    t.events;
+    t.ring;
   Hashtbl.fold (fun label cycles acc -> (label, cycles) :: acc) table []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.sort (fun (la, a) (lb, b) ->
+         match Int.compare b a with 0 -> String.compare la lb | c -> c)
 
 let pp_timeline ppf t =
-  List.iter
+  Ring.iter
     (fun e ->
       Format.fprintf ppf "%12s  +%-6d %s@."
         (Format.asprintf "%a" Cycles.pp e.at)
         e.cycles e.label)
-    (events t)
+    t.ring

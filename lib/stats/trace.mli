@@ -26,12 +26,16 @@ val events : t -> event list
 (** Chronological. *)
 
 val length : t -> int
+(** O(1). *)
+
 val clear : t -> unit
 
 val total_cycles : t -> int
+(** O(1); maintained incrementally by {!record}. *)
 
 val by_label : t -> (string * int) list
-(** Total cycles per label, descending. *)
+(** Total cycles per label, descending; equal totals tie-break by label
+    so the order is deterministic. *)
 
 val pp_timeline : Format.formatter -> t -> unit
 (** One line per event: completion time, step cost, label. *)

@@ -27,14 +27,14 @@ let native_wake_ipi = 1_500
 let run_pattern machine ~groups ~loops ~wake_cost =
   let sim = Machine.sim machine in
   let vcpu_res =
-    Array.init vcpus (fun _ -> Sim.Resource.create sim ~capacity:1)
+    Array.init vcpus (fun i -> Sim.Resource.create ~name:(Printf.sprintf "vcpu%d" i) sim ~capacity:1)
   in
   let wakeups = ref 0 in
   let messages = ref 0 in
   let finish = ref Cycles.zero in
   let done_count = ref 0 in
   for g = 0 to groups - 1 do
-    let mailbox : int Sim.Mailbox.t = Sim.Mailbox.create sim in
+    let mailbox : int Sim.Mailbox.t = Sim.Mailbox.create ~name:"hackbench-ring" sim in
     let receiver_parked = ref false in
     let sender_cpu = vcpu_res.(g mod vcpus) in
     let receiver_cpu = vcpu_res.((g + 1) mod vcpus) in

@@ -41,8 +41,8 @@ let run ?(frames = 1500) ?tso_bug (hyp : Hypervisor.t) =
   in
   let spend label c = Machine.spend machine label c in
   let ring = Virtqueue.create ~size:256 () in
-  let window = Sim.Resource.create sim ~capacity:window_frames in
-  let backend_inbox : int Sim.Mailbox.t = Sim.Mailbox.create sim in
+  let window = Sim.Resource.create ~name:"tx-window" sim ~capacity:window_frames in
+  let backend_inbox : int Sim.Mailbox.t = Sim.Mailbox.create ~name:"backend-inbox" sim in
   let round_trips = ref 0 in
   let finish = ref Cycles.zero in
   (* Guest transmit path: wait for window space, build + post a frame,

@@ -81,9 +81,9 @@ let run ?(transactions = 100) (hyp : Hypervisor.t) =
   let transport = make_transport hyp in
   let vgic = Vgic.create () in
   (* Plumbing between the stages. *)
-  let host_inbox : Packet.t Sim.Mailbox.t = Sim.Mailbox.create sim in
-  let guest_inbox : Packet.t Sim.Mailbox.t = Sim.Mailbox.create sim in
-  let backend_tx_inbox : Packet.t Sim.Mailbox.t = Sim.Mailbox.create sim in
+  let host_inbox : Packet.t Sim.Mailbox.t = Sim.Mailbox.create ~name:"host-inbox" sim in
+  let guest_inbox : Packet.t Sim.Mailbox.t = Sim.Mailbox.create ~name:"guest-inbox" sim in
+  let backend_tx_inbox : Packet.t Sim.Mailbox.t = Sim.Mailbox.create ~name:"backend-tx" sim in
   let response_arrived = Sim.Signal.create sim in
   (* The wire between client and server. *)
   let freq_ghz = Machine.freq_ghz machine in

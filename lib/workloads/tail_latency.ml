@@ -47,7 +47,7 @@ let run ?(seed = 42) ?(requests = 2000) (hyp : Hypervisor.t) ~load =
   let fixed = fixed_latency hyp in
   (* Arrival rate: [load] of *native* capacity. *)
   let mean_interarrival = float_of_int native_service /. load in
-  let server = Sim.Resource.create sim ~capacity:1 in
+  let server = Sim.Resource.create ~name:"server" sim ~capacity:1 in
   let latencies = ref [] in
   let busy = ref 0 in
   let last_arrival_done = ref Cycles.zero in

@@ -1,0 +1,487 @@
+(* Tests for Armvirt_obs (ring, spans, tracer, metrics, exporters) and
+   the Observe/Runner tracing glue: golden files for the Chrome and
+   Prometheus formats, histogram bucket boundaries, export determinism
+   across --jobs levels, and the traced-off = seed invariant. *)
+
+module Ring = Armvirt_obs.Ring
+module Span = Armvirt_obs.Span
+module Tracer = Armvirt_obs.Tracer
+module Metrics = Armvirt_obs.Metrics
+module Export = Armvirt_obs.Export
+module Observe = Armvirt_core.Observe
+module Runner = Armvirt_core.Runner
+module Platform = Armvirt_core.Platform
+module Machine = Armvirt_arch.Machine
+module Sim = Armvirt_engine.Sim
+module W = Armvirt_workloads
+
+(* --- Ring ---------------------------------------------------------- *)
+
+let test_ring_unbounded_chronological () =
+  let r = Ring.create () in
+  for i = 1 to 1000 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "length" 1000 (Ring.length r);
+  Alcotest.(check int) "dropped" 0 (Ring.dropped r);
+  Alcotest.(check (list int)) "oldest first" (List.init 1000 (fun i -> i + 1))
+    (Ring.to_list r)
+
+let test_ring_capped_drops_oldest () =
+  let r = Ring.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "length at cap" 4 (Ring.length r);
+  Alcotest.(check int) "dropped" 6 (Ring.dropped r);
+  Alcotest.(check (list int)) "keeps newest, in order" [ 7; 8; 9; 10 ]
+    (Ring.to_list r)
+
+let test_ring_clear_and_reuse () =
+  let r = Ring.create ~capacity:2 () in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Ring.clear r;
+  Alcotest.(check int) "empty" 0 (Ring.length r);
+  Alcotest.(check int) "drop counter reset" 0 (Ring.dropped r);
+  Ring.push r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Ring.to_list r)
+
+let test_ring_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Ring.create: capacity < 1") (fun () ->
+      ignore (Ring.create ~capacity:0 ()))
+
+(* --- Span classification ------------------------------------------- *)
+
+let test_span_of_label () =
+  let check label expect =
+    Alcotest.(check string) label
+      (Span.category_to_string expect)
+      (Span.category_to_string (Span.of_label label))
+  in
+  check "kvm_arm.vcpu_resume" Span.Vmexit;
+  check "arm.hvc_to_el2" Span.Trap;
+  check "netperf.irq_delivery" Span.Irq;
+  check "netperf.host_rx_path" Span.Io;
+  check "coldstart.page_map" Span.Stage2;
+  check "xen_arm.dom0_upcall" Span.Vmexit;
+  check "completely.unknown" Span.Other
+
+let test_span_category_roundtrip () =
+  List.iter
+    (fun c ->
+      match Span.category_of_string (Span.category_to_string c) with
+      | Some c' ->
+          Alcotest.(check string) "roundtrip"
+            (Span.category_to_string c)
+            (Span.category_to_string c')
+      | None -> Alcotest.fail "category_of_string failed on its own output")
+    Span.all
+
+(* --- Tracer -------------------------------------------------------- *)
+
+let test_tracer_nesting () =
+  let t = Tracer.create () in
+  Tracer.begin_span t ~track:"p" ~cat:Span.Sched ~name:"outer" ~ts:10;
+  Tracer.begin_span t ~track:"p" ~cat:Span.Io ~name:"inner" ~ts:20;
+  Alcotest.(check int) "two open" 2 (Tracer.open_spans t ~track:"p");
+  Tracer.end_span t ~track:"p" ~ts:30;
+  Tracer.end_span t ~track:"p" ~ts:50;
+  Alcotest.(check int) "closed" 0 (Tracer.open_spans t ~track:"p");
+  match Tracer.events t with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner first (completion order)" "inner"
+        inner.Span.name;
+      Alcotest.(check int) "inner dur" 10 (Span.duration inner);
+      Alcotest.(check int) "outer ts" 10 outer.Span.ts;
+      Alcotest.(check int) "outer dur" 40 (Span.duration outer)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_tracer_end_without_begin () =
+  let t = Tracer.create () in
+  Alcotest.check_raises "unbalanced end"
+    (Invalid_argument "Tracer.end_span: no open span on track \"p\"")
+    (fun () -> Tracer.end_span t ~track:"p" ~ts:1)
+
+let test_tracer_tracks_are_independent () =
+  let t = Tracer.create () in
+  Tracer.begin_span t ~track:"a" ~cat:Span.Sched ~name:"x" ~ts:0;
+  Tracer.begin_span t ~track:"b" ~cat:Span.Sched ~name:"y" ~ts:5;
+  Tracer.end_span t ~track:"a" ~ts:7;
+  Alcotest.(check int) "b still open" 1 (Tracer.open_spans t ~track:"b");
+  Alcotest.(check int) "a closed" 0 (Tracer.open_spans t ~track:"a")
+
+(* --- Metrics: histogram bucket boundaries -------------------------- *)
+
+let hist_buckets m name =
+  match Metrics.histogram m name with
+  | Some h -> h.Metrics.buckets
+  | None -> Alcotest.fail "histogram missing"
+
+let test_histogram_boundaries () =
+  let m = Metrics.create () in
+  (* Exactly on a power of two stays in that bucket; the next
+     representable float above spills into the next one. *)
+  Metrics.observe m "h" 1.0;
+  Metrics.observe m "h" 2.0;
+  Metrics.observe m "h" (Float.succ 2.0);
+  Metrics.observe m "h" 1024.0;
+  Metrics.observe m "h" 1025.0;
+  Metrics.observe m "h" 0.0;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket assignment"
+    [ (1.0, 2); (2.0, 1); (4.0, 1); (1024.0, 1); (2048.0, 1) ]
+    (hist_buckets m "h");
+  (match Metrics.histogram m "h" with
+  | Some h ->
+      Alcotest.(check int) "count" 6 h.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 2054.0 h.Metrics.sum
+  | None -> Alcotest.fail "histogram missing");
+  Alcotest.check_raises "negative observation"
+    (Invalid_argument "Metrics.observe: negative observation") (fun () ->
+      Metrics.observe m "h" (-1.0))
+
+let test_histogram_huge_values_saturate () =
+  let m = Metrics.create () in
+  Metrics.observe m "h" 1e30;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "top bucket" [ (4.611686018427387904e18, 1) ] (hist_buckets m "h")
+
+(* --- Metrics: counters, gauges, merge ------------------------------ *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.incr m ~by:4 "c";
+  Metrics.incr m ~labels:[ ("k", "v") ] "c";
+  Alcotest.(check int) "unlabelled" 5 (Metrics.counter_value m "c");
+  Alcotest.(check int) "labelled" 1
+    (Metrics.counter_value m ~labels:[ ("k", "v") ] "c");
+  Alcotest.(check int) "absent" 0 (Metrics.counter_value m "nope");
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (option (float 1e-9))) "last write wins" (Some 2.5)
+    (Metrics.gauge_value m "g");
+  Alcotest.(check (list string)) "names" [ "c"; "g" ] (Metrics.names m)
+
+let test_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a ~by:2 "c";
+  Metrics.incr b ~by:3 "c";
+  Metrics.set_gauge b "g" 7.0;
+  Metrics.observe a "h" 1.0;
+  Metrics.observe b "h" 3.0;
+  Metrics.merge_into ~dst:a b;
+  Alcotest.(check int) "counters add" 5 (Metrics.counter_value a "c");
+  Alcotest.(check (option (float 1e-9))) "gauge overwrites" (Some 7.0)
+    (Metrics.gauge_value a "g");
+  match Metrics.histogram a "h" with
+  | Some h ->
+      Alcotest.(check int) "histogram counts add" 2 h.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sums add" 4.0 h.Metrics.sum
+  | None -> Alcotest.fail "histogram missing"
+
+(* --- Golden: Prometheus text format -------------------------------- *)
+
+let sample_registry () =
+  let m = Metrics.create () in
+  (* Labels deliberately inserted in non-alphabetical order: rendering
+     must sort them. *)
+  Metrics.incr m ~by:7 ~labels:[ ("hyp", "kvm"); ("arch", "arm") ] "traps";
+  Metrics.incr m ~by:2 ~labels:[ ("arch", "x86"); ("hyp", "kvm") ] "traps";
+  Metrics.set_gauge m "depth" 3.0;
+  Metrics.observe m "wait" 1.0;
+  Metrics.observe m "wait" 5.0;
+  m
+
+let prometheus_golden =
+  "# TYPE traps counter\n\
+   traps{arch=\"arm\",hyp=\"kvm\"} 7\n\
+   traps{arch=\"x86\",hyp=\"kvm\"} 2\n\
+   # TYPE depth gauge\n\
+   depth 3.0\n\
+   # TYPE wait histogram\n\
+   wait_bucket{le=\"1\"} 1\n\
+   wait_bucket{le=\"2\"} 1\n\
+   wait_bucket{le=\"4\"} 1\n\
+   wait_bucket{le=\"8\"} 2\n\
+   wait_bucket{le=\"+Inf\"} 2\n\
+   wait_sum 6.0\n\
+   wait_count 2\n"
+
+let test_prometheus_golden () =
+  Alcotest.(check string) "prometheus output"
+    prometheus_golden
+    (Format.asprintf "%a" Metrics.pp_prometheus (sample_registry ()))
+
+let test_prometheus_label_order_irrelevant () =
+  let flipped = Metrics.create () in
+  Metrics.incr flipped ~by:2 ~labels:[ ("hyp", "kvm"); ("arch", "x86") ] "traps";
+  Metrics.incr flipped ~by:7 ~labels:[ ("arch", "arm"); ("hyp", "kvm") ] "traps";
+  Metrics.set_gauge flipped "depth" 3.0;
+  Metrics.observe flipped "wait" 5.0;
+  Metrics.observe flipped "wait" 1.0;
+  Alcotest.(check string) "insertion order leaks nowhere"
+    (Format.asprintf "%a" Metrics.pp_prometheus (sample_registry ()))
+    (Format.asprintf "%a" Metrics.pp_prometheus flipped)
+
+let test_json_snapshot_golden () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 ~labels:[ ("k", "v") ] "c";
+  Metrics.set_gauge m "g" 0.5;
+  Metrics.observe m "h" 2.0;
+  let golden =
+    "{\n\
+     \  \"counters\": [\n\
+     \    {\"name\":\"c\",\"labels\":{\"k\":\"v\"},\"value\":3}\n\
+     \  ],\n\
+     \  \"gauges\": [\n\
+     \    {\"name\":\"g\",\"labels\":{},\"value\":0.5}\n\
+     \  ],\n\
+     \  \"histograms\": [\n\
+     \    {\"name\":\"h\",\"labels\":{},\"count\":1,\"sum\":2.0,\"buckets\":[{\"le\":2,\"count\":1}]}\n\
+     \  ]\n\
+     }\n"
+  in
+  Alcotest.(check string) "json output" golden
+    (Format.asprintf "%a" Metrics.pp_json m)
+
+(* --- Golden: Chrome trace JSON ------------------------------------- *)
+
+let chrome_sample () =
+  [
+    {
+      Export.pid = 0;
+      name = "cell-a";
+      dropped = 1;
+      events =
+        [
+          (* Recorded out of start order and with a tie at ts=0: the
+             exporter must sort by (ts, dur desc, recording order). *)
+          {
+            Span.ts = 5;
+            track = "cpu";
+            cat = Span.Io;
+            name = "tx";
+            kind = Span.Complete 3;
+          };
+          {
+            Span.ts = 0;
+            track = "cpu";
+            cat = Span.Vmexit;
+            name = "inner";
+            kind = Span.Complete 2;
+          };
+          {
+            Span.ts = 0;
+            track = "cpu";
+            cat = Span.Sched;
+            name = "outer";
+            kind = Span.Complete 10;
+          };
+          {
+            Span.ts = 2;
+            track = "worker";
+            cat = Span.Sched;
+            name = "spawn";
+            kind = Span.Instant;
+          };
+          {
+            Span.ts = 4;
+            track = "mb:inbox";
+            cat = Span.Io;
+            name = "inbox";
+            kind = Span.Value 2;
+          };
+        ];
+    };
+  ]
+
+let chrome_golden =
+  "{\"traceEvents\":[\n\
+   {\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"cell-a\",\"dropped_events\":1}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"cpu\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"mb:inbox\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"worker\"}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":0,\"cat\":\"sched\",\"name\":\"outer\",\"dur\":10},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":0,\"cat\":\"vmexit\",\"name\":\"inner\",\"dur\":2},\n\
+   {\"ph\":\"i\",\"pid\":0,\"tid\":3,\"ts\":2,\"cat\":\"sched\",\"name\":\"spawn\",\"s\":\"t\"},\n\
+   {\"ph\":\"C\",\"pid\":0,\"tid\":2,\"ts\":4,\"cat\":\"io\",\"name\":\"inbox\",\"args\":{\"value\":2}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":5,\"cat\":\"io\",\"name\":\"tx\",\"dur\":3}\n\
+   ],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"simulated cycles (1 exported us = 1 cycle)\"}}\n"
+
+let test_chrome_golden () =
+  Alcotest.(check string) "chrome trace output" chrome_golden
+    (Format.asprintf "%a" Export.chrome (chrome_sample ()))
+
+let test_csv_export () =
+  let lines =
+    Format.asprintf "%a" Export.csv (chrome_sample ())
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check string) "header" "pid,process,tid,track,ts,dur,cat,name,value"
+    (List.hd lines);
+  Alcotest.(check int) "one row per event" 6 (List.length lines);
+  Alcotest.(check string) "outer span row first" "0,cell-a,1,cpu,0,10,sched,outer,"
+    (List.nth lines 1)
+
+(* Position of the first occurrence of [needle] in [s], or -1. *)
+let index_of s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i =
+    if i + n > m then -1
+    else if String.sub s i n = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_summary_export () =
+  let out = Format.asprintf "%a" Export.summary (chrome_sample ()) in
+  (* sched (10) > io (3) > vmexit (2); instants and values contribute no
+     cycles. Categories print in descending cycle order. *)
+  Alcotest.(check bool) "mentions total" true (index_of out "total" >= 0);
+  let sched_pos = index_of out "sched" and io_pos = index_of out "\nio" in
+  Alcotest.(check bool) "sched listed" true (sched_pos >= 0);
+  Alcotest.(check bool) "io listed" true (io_pos >= 0);
+  Alcotest.(check bool) "sched ranked before io" true (sched_pos < io_pos)
+
+(* --- Observe + Runner: export determinism across jobs --------------- *)
+
+let run_traced_cells ~jobs =
+  Observe.enable ~context:"t" ();
+  Fun.protect ~finally:Observe.disable (fun () ->
+      let results =
+        Runner.map ~jobs
+          (fun i ->
+            let m = Platform.machine Platform.Arm_m400 in
+            let sim = Machine.sim m in
+            Sim.spawn sim ~name:"w" (fun () ->
+                Machine.spend m "vmexit.entry" (100 * (i + 1));
+                Machine.spend m "netperf.tx_path" 50);
+            Sim.run sim;
+            i)
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      let trace =
+        Format.asprintf "%a" Export.chrome (Observe.processes ())
+      in
+      (results, trace))
+
+let test_export_deterministic_across_jobs () =
+  let r1, t1 = run_traced_cells ~jobs:1 in
+  let r4, t4 = run_traced_cells ~jobs:4 in
+  Alcotest.(check (list int)) "results in input order" [ 0; 1; 2; 3; 4; 5 ] r1;
+  Alcotest.(check (list int)) "parallel results identical" r1 r4;
+  Alcotest.(check string) "chrome export byte-identical" t1 t4;
+  Alcotest.(check bool) "trace is non-trivial" true
+    (String.length t1 > 500)
+
+let test_cell_labels_in_input_order () =
+  Observe.enable ~context:"lbl" ();
+  Fun.protect ~finally:Observe.disable (fun () ->
+      ignore (Runner.map ~jobs:4 (fun i -> i) [ 10; 20; 30 ]);
+      let labels = List.map (fun c -> c.Observe.label) (Observe.cells ()) in
+      Alcotest.(check (list string)) "labels"
+        [ "lbl#0.0"; "lbl#0.1"; "lbl#0.2" ]
+        labels)
+
+let test_memo_metrics () =
+  Observe.enable ~context:"memo" ();
+  Fun.protect ~finally:Observe.disable (fun () ->
+      let tbl = Runner.Memo.create () in
+      let key = Runner.Key.v ~platform:"arm" () in
+      ignore (Runner.Memo.find_or_compute tbl key (fun () -> 1));
+      ignore (Runner.Memo.find_or_compute tbl key (fun () -> 2));
+      let m = Observe.metrics () in
+      Alcotest.(check int) "one miss" 1
+        (Metrics.counter_value m "runner_memo_misses_total");
+      Alcotest.(check int) "one hit" 1
+        (Metrics.counter_value m "runner_memo_hits_total"))
+
+(* --- No-observer overhead: traced-off runs match the seed ----------- *)
+
+let test_tracing_does_not_change_results () =
+  let untraced = W.Netperf.run_tcp_rr (Platform.hypervisor Arm_m400 Kvm) in
+  Observe.enable ~context:"rr" ();
+  let traced, cell =
+    Fun.protect ~finally:Observe.disable (fun () ->
+        Observe.capture ~label:"rr#0.0" (fun () ->
+            W.Netperf.run_tcp_rr (Platform.hypervisor Arm_m400 Kvm)))
+  in
+  Alcotest.(check (float 0.0)) "trans/s identical"
+    untraced.W.Netperf.trans_per_sec traced.W.Netperf.trans_per_sec;
+  Alcotest.(check (float 0.0)) "us/trans identical"
+    untraced.W.Netperf.time_per_trans_us traced.W.Netperf.time_per_trans_us;
+  match cell with
+  | Some c ->
+      Alcotest.(check bool) "cell recorded events" true
+        (List.length c.Observe.events > 0)
+  | None -> Alcotest.fail "capture returned no cell"
+
+let test_untraced_capture_is_transparent () =
+  (* No session: capture must run the thunk untouched and return no cell. *)
+  let v, cell = Observe.capture ~label:"x" (fun () -> 42) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check bool) "no cell" true (cell = None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "unbounded chronological" `Quick
+            test_ring_unbounded_chronological;
+          Alcotest.test_case "capped drops oldest" `Quick
+            test_ring_capped_drops_oldest;
+          Alcotest.test_case "clear and reuse" `Quick test_ring_clear_and_reuse;
+          Alcotest.test_case "rejects zero capacity" `Quick
+            test_ring_rejects_zero_capacity;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "of_label" `Quick test_span_of_label;
+          Alcotest.test_case "category roundtrip" `Quick
+            test_span_category_roundtrip;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "nesting" `Quick test_tracer_nesting;
+          Alcotest.test_case "end without begin" `Quick
+            test_tracer_end_without_begin;
+          Alcotest.test_case "tracks independent" `Quick
+            test_tracer_tracks_are_independent;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram boundaries" `Quick
+            test_histogram_boundaries;
+          Alcotest.test_case "huge values saturate" `Quick
+            test_histogram_huge_values_saturate;
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "label order irrelevant" `Quick
+            test_prometheus_label_order_irrelevant;
+          Alcotest.test_case "json golden" `Quick test_json_snapshot_golden;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+          Alcotest.test_case "csv" `Quick test_csv_export;
+          Alcotest.test_case "summary" `Quick test_summary_export;
+        ] );
+      ( "observe",
+        [
+          Alcotest.test_case "export deterministic across jobs" `Quick
+            test_export_deterministic_across_jobs;
+          Alcotest.test_case "cell labels in input order" `Quick
+            test_cell_labels_in_input_order;
+          Alcotest.test_case "memo metrics" `Quick test_memo_metrics;
+          Alcotest.test_case "tracing does not change results" `Quick
+            test_tracing_does_not_change_results;
+          Alcotest.test_case "untraced capture transparent" `Quick
+            test_untraced_capture_is_transparent;
+        ] );
+    ]

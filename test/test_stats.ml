@@ -210,6 +210,34 @@ let test_trace_records_spends () =
   Trace.clear trace;
   Alcotest.(check int) "cleared" 0 (Trace.length trace)
 
+(* Regression for the ring-buffer rewrite: [events] must stay
+   chronological (the old representation was a newest-first list that
+   [events] reversed) and [record] order must be preserved exactly, even
+   for many events with identical timestamps. *)
+let test_trace_events_chronological () =
+  let trace = Trace.create () in
+  let now = Armvirt_engine.Cycles.of_int 7 in
+  for i = 0 to 999 do
+    Trace.record trace ~label:(Printf.sprintf "op%d" i) ~cycles:1 ~now
+  done;
+  Alcotest.(check int) "length" 1000 (Trace.length trace);
+  Alcotest.(check (list string)) "recording order preserved"
+    (List.init 1000 (Printf.sprintf "op%d"))
+    (List.map (fun e -> e.Trace.label) (Trace.events trace));
+  Alcotest.(check int) "total is incremental" 1000 (Trace.total_cycles trace)
+
+let test_trace_by_label_tie_break () =
+  let trace = Trace.create () in
+  let now = Armvirt_engine.Cycles.of_int 0 in
+  (* Insert in an order that a Hashtbl fold would not preserve: equal
+     totals must come out sorted by label. *)
+  List.iter
+    (fun l -> Trace.record trace ~label:l ~cycles:10 ~now)
+    [ "zeta"; "alpha"; "mid" ];
+  Alcotest.(check (list (pair string int))) "ties sorted by label"
+    [ ("alpha", 10); ("mid", 10); ("zeta", 10) ]
+    (Trace.by_label trace)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "stats"
@@ -245,6 +273,12 @@ let () =
             test_cycle_counter_read_pays_barrier;
         ] );
       ( "trace",
-        [ Alcotest.test_case "records spends" `Quick test_trace_records_spends ]
+        [
+          Alcotest.test_case "records spends" `Quick test_trace_records_spends;
+          Alcotest.test_case "events chronological" `Quick
+            test_trace_events_chronological;
+          Alcotest.test_case "by_label tie-break" `Quick
+            test_trace_by_label_tie_break;
+        ]
       );
     ]
