@@ -9,7 +9,7 @@
                       isolation guestops crosscall vapic twodwalk multiqueue
                       lazyswitch consolidation tracereplay structural
                       fig4chart
-     also:            bechamel, all (default) *)
+     also:            bechamel, runner, explore, all (default) *)
 
 module Experiment = Armvirt_core.Experiment
 module Report = Armvirt_core.Report
@@ -79,6 +79,50 @@ let run_runner_bench () =
   Format.fprintf ppf
     "  memo: cold %.3f s, warm %.3f s (%.2fx); %d hits / %d misses@." cold warm
     (cold /. warm) hits misses
+
+module Explore = Armvirt_explore
+
+(* What the explore stack adds on top of bare Runner.map: same points,
+   same objective, once through Sweep.run (sampler + config application
+   + Pareto + emitter-ready rows) and once hand-rolled. *)
+let run_explore_bench () =
+  let space =
+    Explore.Space.of_string "vgic.save=2000:4400:150,trap_to_el2=40:120:40"
+  in
+  let sampler = Explore.Sampler.Grid in
+  let objective = Explore.Objective.find "hypercall" in
+  let points = Explore.Sampler.points sampler ~seed:42 space in
+  let n = List.length points in
+  let base = Explore.Config.default in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let bare =
+    timed (fun () ->
+        ignore
+          (Runner.map ~jobs:1
+             (fun p ->
+               objective.Explore.Objective.eval
+                 (Explore.Config.apply_point base p))
+             points))
+  in
+  let sweep =
+    timed (fun () ->
+        ignore
+          (Explore.Sweep.run ~jobs:1 ~base ~sampler ~objectives:[ objective ]
+             space))
+  in
+  Format.fprintf ppf
+    "Explore: %d-point grid, hypercall objective, --jobs 1@." n;
+  Format.fprintf ppf "  bare Runner.map   %8.3f s  (%7.1f us/point)@." bare
+    (bare /. float_of_int n *. 1e6);
+  Format.fprintf ppf "  Sweep.run         %8.3f s  (%7.1f us/point)@." sweep
+    (sweep /. float_of_int n *. 1e6);
+  Format.fprintf ppf "  stack overhead    %8.1f us/point (%.1f%%)@."
+    ((sweep -. bare) /. float_of_int n *. 1e6)
+    ((sweep -. bare) /. bare *. 100.)
 
 (* Bechamel: how fast the simulator itself regenerates each artifact.
    Every staged run clears the cross-artifact memo table first, so
@@ -182,9 +226,11 @@ let run_one name =
   | None ->
       if name = "bechamel" then run_bechamel ()
       else if name = "runner" then run_runner_bench ()
+      else if name = "explore" then run_explore_bench ()
       else begin
         Format.fprintf ppf
-          "unknown experiment %S; available: %s bechamel runner all@." name
+          "unknown experiment %S; available: %s bechamel runner explore all@."
+          name
           (String.concat " " (List.map fst experiments));
         exit 1
       end
@@ -195,5 +241,6 @@ let () =
   | [] | [ "all" ] ->
       List.iter (fun (name, _) -> run_one name) experiments;
       run_bechamel ();
-      run_runner_bench ()
+      run_runner_bench ();
+      run_explore_bench ()
   | names -> List.iter run_one names

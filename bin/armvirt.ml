@@ -6,7 +6,8 @@
      micro         run the Table I microbenchmark suite on one hypervisor
      app           run one application workload through the Figure 4 model
      rr            run the Netperf TCP_RR decomposition on one hypervisor
-     trace         run an experiment under the tracer and export the trace *)
+     trace         run an experiment under the tracer and export the trace
+     explore       sweep or calibrate the design space (lib/explore) *)
 
 module Platform = Armvirt_core.Platform
 module Experiment = Armvirt_core.Experiment
@@ -519,6 +520,192 @@ let timeline_cmd =
        ~doc:"Cycle-by-cycle ledger of one hypervisor operation")
     Term.(const run $ platform_arg $ hyp_arg $ operation)
 
+(* --- explore --------------------------------------------------------------- *)
+
+module Explore = Armvirt_explore
+
+let explore_cmd =
+  let space_conv =
+    let parse s =
+      match Explore.Space.of_string s with
+      | space -> Ok space
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Explore.Space.to_string s))
+  in
+  let sampler_conv =
+    let parse s =
+      match Explore.Sampler.of_string s with
+      | sampler -> Ok sampler
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      (parse, fun fmt s -> Format.pp_print_string fmt (Explore.Sampler.to_string s))
+  in
+  let objective_conv =
+    let parse s =
+      match Explore.Objective.find s with
+      | o -> Ok o
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      (parse, fun fmt (o : Explore.Objective.t) ->
+        Format.pp_print_string fmt o.Explore.Objective.name)
+  in
+  let space_arg =
+    Arg.(
+      value
+      & opt (some space_conv) None
+      & info [ "space" ] ~docv:"SPACE"
+          ~doc:
+            "The design space: comma-separated $(i,axis)=$(i,spec) bindings \
+             where spec is $(i,lo:hi:step) or explicit levels \
+             $(i,v|v|...). Example: \
+             $(b,vgic.save=2000:4375:625,lr_count=2|4,hyp=kvm|xen). Use \
+             $(b,--knobs) to list axis names.")
+  in
+  let sampler_arg =
+    Arg.(
+      value
+      & opt sampler_conv Explore.Sampler.Grid
+      & info [ "sampler" ] ~docv:"SAMPLER"
+          ~doc:
+            "$(b,grid) (full cartesian product), $(b,lhs:N) (seeded Latin \
+             hypercube, N samples) or $(b,oat) (one-at-a-time sensitivity \
+             design).")
+  in
+  let objectives_arg =
+    Arg.(
+      value
+      & opt_all objective_conv []
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "Objective to evaluate at each point (repeatable; default \
+             $(b,hypercall)). Use $(b,--objectives) to list.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file; $(b,-) (default) writes to stdout.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("md", `Md); ("csv", `Csv) ]) `Md
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "$(b,md) (markdown report with Pareto frontier and, for oat \
+             runs, the sensitivity ranking) or $(b,csv) (one row per \
+             point with a pareto 0/1 column).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for lhs sampling and calibration restarts.")
+  in
+  let calibrate_arg =
+    Arg.(
+      value & flag
+      & info [ "calibrate" ]
+          ~doc:
+            "Instead of sweeping, search the space for the point optimizing \
+             the (single) objective — coordinate descent with seeded \
+             random restarts. Pair with an error objective \
+             ($(b,hypercall-err), $(b,table2-err)) to recover cost-model \
+             constants from the paper's targets.")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt positive_int 3
+      & info [ "restarts" ] ~docv:"N" ~doc:"Calibration restarts.")
+  in
+  let knobs_arg =
+    Arg.(value & flag & info [ "knobs" ] ~doc:"List the axis names and exit.")
+  in
+  let objectives_list_arg =
+    Arg.(
+      value & flag & info [ "objectives" ] ~doc:"List the objectives and exit.")
+  in
+  let with_out out f =
+    match out with
+    | "-" ->
+        f Format.std_formatter;
+        Format.pp_print_flush Format.std_formatter ()
+    | path ->
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        f fmt;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path
+  in
+  let run space sampler objectives out format seed calibrate restarts knobs
+      objectives_list jobs trace_file =
+    apply_jobs jobs;
+    if knobs then
+      List.iter
+        (fun (n, d) -> Printf.printf "  %-18s %s\n" n d)
+        Explore.Config.knobs
+    else if objectives_list then
+      List.iter
+        (fun (o : Explore.Objective.t) ->
+          Printf.printf "  %-15s %-10s %s %s\n" o.Explore.Objective.name
+            (Printf.sprintf "[%s]" o.Explore.Objective.unit_)
+            (match o.Explore.Objective.direction with
+            | Explore.Objective.Min -> "min"
+            | Explore.Objective.Max -> "max")
+            o.Explore.Objective.doc)
+        Explore.Objective.all
+    else
+      match space with
+      | None ->
+          Format.fprintf ppf
+            "missing --space (try --knobs for axis names)@.";
+          exit 2
+      | Some space ->
+          let objectives =
+            match objectives with
+            | [] -> [ Explore.Objective.find "hypercall" ]
+            | l -> l
+          in
+          let base = Explore.Config.default in
+          with_session ~context:"explore" ~trace_file ~verbose:false
+          @@ fun () ->
+          if calibrate then begin
+            let objective = List.hd objectives in
+            let r =
+              Explore.Calibrate.search ~restarts ~seed ~base ~objective space
+            in
+            Format.fprintf ppf "calibrated %s (%s, %d evaluations, %d sweeps)@."
+              objective.Explore.Objective.name objective.Explore.Objective.unit_
+              r.Explore.Calibrate.evaluations r.Explore.Calibrate.sweeps;
+            Format.fprintf ppf "  best: %s@."
+              (Explore.Space.point_to_string r.Explore.Calibrate.best);
+            Format.fprintf ppf "  value: %.6g %s@."
+              r.Explore.Calibrate.best_value objective.Explore.Objective.unit_
+          end
+          else begin
+            let sweep =
+              Explore.Sweep.run ~seed ~base ~sampler ~objectives space
+            in
+            with_out out (fun fmt ->
+                match format with
+                | `Csv -> Explore.Sweep.pp_csv fmt sweep
+                | `Md -> Explore.Sweep.pp_markdown fmt sweep)
+          end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep or calibrate the design space: cost-model constants, \
+          tuning knobs and hypervisor choice")
+    Term.(
+      const run $ space_arg $ sampler_arg $ objectives_arg $ out_arg
+      $ format_arg $ seed_arg $ calibrate_arg $ restarts_arg $ knobs_arg
+      $ objectives_list_arg $ jobs_arg $ trace_file_arg)
+
 (* --- report ---------------------------------------------------------------- *)
 
 let report_cmd =
@@ -555,5 +742,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
-            timeline_cmd; report_cmd;
+            timeline_cmd; explore_cmd; report_cmd;
           ]))

@@ -71,21 +71,39 @@ let arm_default =
     vhe = false;
   }
 
-let arm_vhe = { arm_default with vhe = true }
+(* Copy-with-override paths: every what-if machine is a functional
+   update of a base model, never a mutation — sampled design points and
+   ablations can coexist in one process. *)
+let with_vhe vhe arm = { arm with vhe }
+
+let with_reg_cost cls ~save ~restore arm =
+  let prev = arm.reg in
+  { arm with reg = (fun c -> if c = cls then { save; restore } else prev c) }
+
+let with_arm t ~f =
+  match t with
+  | Arm a -> Arm (f a)
+  | X86 _ -> invalid_arg "Cost_model.with_arm: x86 model"
+
+let with_x86 t ~f =
+  match t with
+  | X86 x -> X86 (f x)
+  | Arm _ -> invalid_arg "Cost_model.with_x86: ARM model"
+
+let arm_vhe = with_vhe true arm_default
 
 (* GICv3 moves the CPU-interface state behind system registers
    (ICH_*_EL2 / ICC_*_EL1), so reading it back on exit is ordinary
    register traffic instead of slow interconnect MMIO — the single
    biggest line of Table III nearly vanishes. *)
-let gicv3_reg cls =
-  match cls with
-  | Reg_class.Vgic -> { save = 248; restore = 181 }
-  | _ -> table_iii cls
-
 let arm_gicv3 =
-  { arm_default with reg = gicv3_reg; vgic_slot_scan = 96; vgic_lr_write = 58 }
+  {
+    (with_reg_cost Reg_class.Vgic ~save:248 ~restore:181 arm_default) with
+    vgic_slot_scan = 96;
+    vgic_lr_write = 58;
+  }
 
-let arm_gicv3_vhe = { arm_gicv3 with vhe = true }
+let arm_gicv3_vhe = with_vhe true arm_gicv3
 
 let x86_default =
   {

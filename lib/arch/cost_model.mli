@@ -108,6 +108,27 @@ val x86_default : x86
 val freq_ghz : t -> float
 val arch_name : t -> string
 
+(** {1 Copy-with-override}
+
+    What-if machines are functional updates of a base model — callers
+    (the GICv3/vAPIC ablations, [lib/explore]'s design points) never
+    mutate shared model state, so perturbed and stock machines coexist
+    in one process and across runner domains. *)
+
+val with_vhe : bool -> arm -> arm
+(** Flip the ARMv8.1 E2H behaviour on a copy of the model. *)
+
+val with_reg_cost : Reg_class.t -> save:int -> restore:int -> arm -> arm
+(** Override one register class's context-switch costs, leaving every
+    other class of the table untouched. *)
+
+val with_arm : t -> f:(arm -> arm) -> t
+(** Apply a functional override to the ARM side of a model. Raises
+    [Invalid_argument] on an x86 model. *)
+
+val with_x86 : t -> f:(x86 -> x86) -> t
+(** Mirror of {!with_arm} for x86. Raises [Invalid_argument] on ARM. *)
+
 val arm_full_save : arm -> int
 (** Σ save over {!Reg_class.full_world_switch} — the exit-side switch of
     split-mode KVM (4,202 in Table III). *)

@@ -59,3 +59,8 @@ module System = Armvirt_system
 module Core = Armvirt_core
 (** Platforms, the paper's published data, the experiment registry and
     the paper-vs-measured reports. *)
+
+module Explore = Armvirt_explore
+(** Design-space exploration: parameter spaces over cost-model and
+    tuning knobs, deterministic samplers, Pareto/sensitivity analysis
+    and calibration search against the paper's targets. *)

@@ -385,9 +385,7 @@ let coldstart () =
    microarchitecture rather than hypervisor design. *)
 let gicv3 () =
   let machine_of cost =
-    let sim = Armvirt_engine.Sim.create () in
-    Armvirt_arch.Machine.create sim ~cost:(Armvirt_arch.Cost_model.Arm cost)
-      ~num_cpus:8
+    Platform.machine_with ~cost:(Armvirt_arch.Cost_model.Arm cost)
   in
   let kvm_on cost () =
     H.Kvm_arm.to_hypervisor (H.Kvm_arm.create (machine_of cost))
@@ -548,9 +546,7 @@ let twodwalk () =
   ]
 
 let x86_machine_with hw =
-  let sim = Armvirt_engine.Sim.create () in
-  Armvirt_arch.Machine.create sim ~cost:(Armvirt_arch.Cost_model.X86 hw)
-    ~num_cpus:8
+  Platform.machine_with ~cost:(Armvirt_arch.Cost_model.X86 hw)
 
 let x86_vapic_hw =
   { Armvirt_arch.Cost_model.x86_default with Armvirt_arch.Cost_model.vapic = true }

@@ -20,9 +20,11 @@ let cost = function
   | Arm_m400_vhe -> Cost_model.Arm Cost_model.arm_vhe
   | X86_r320 -> Cost_model.X86 Cost_model.x86_default
 
-let machine p =
+let machine_with ~cost =
   let sim = Sim.create () in
-  Machine.create sim ~cost:(cost p) ~num_cpus
+  Machine.create sim ~cost ~num_cpus
+
+let machine p = machine_with ~cost:(cost p)
 
 let kvm_arm () = H.Kvm_arm.create (machine Arm_m400)
 let kvm_arm_vhe () = H.Kvm_arm.create (machine Arm_m400_vhe)

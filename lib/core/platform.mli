@@ -23,6 +23,11 @@ val num_cpus : int
 val machine : t -> Armvirt_arch.Machine.t
 (** A fresh machine (and simulation world). *)
 
+val machine_with : cost:Armvirt_arch.Cost_model.t -> Armvirt_arch.Machine.t
+(** A fresh machine on a custom cost model — the hook the GICv3/vAPIC
+    ablations and [lib/explore]'s sampled design points use to run the
+    hypervisor models on perturbed hardware. *)
+
 val hypervisor : t -> hyp_id -> Armvirt_hypervisor.Hypervisor.t
 (** A fresh machine running the given hypervisor. Raises
     [Invalid_argument] for [Xen] on [Arm_m400_vhe]: VHE only changes

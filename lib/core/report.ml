@@ -578,3 +578,45 @@ let pp_zerocopy ppf rows =
         stream_gbps stream_norm)
     rows;
   hline ppf 86
+
+(* --- generic machine-readable tables --------------------------------- *)
+
+(* CSV per RFC 4180: fields containing separators, quotes or newlines are
+   quoted, embedded quotes doubled. lib/explore's sweep reports go
+   through these two emitters so every exploration artifact renders the
+   same way the paper tables do — in one place. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+let pp_csv_row ppf cells =
+  Format.fprintf ppf "%s@." (String.concat "," (List.map csv_field cells))
+
+let pp_csv_table ppf ~header rows =
+  pp_csv_row ppf header;
+  List.iter (pp_csv_row ppf) rows
+
+let pp_markdown_table ppf ~header rows =
+  let md_field s =
+    String.concat "\\|" (String.split_on_char '|' s)
+  in
+  let row cells =
+    Format.fprintf ppf "| %s |@."
+      (String.concat " | " (List.map md_field cells))
+  in
+  row header;
+  Format.fprintf ppf "|%s@."
+    (String.concat "|" (List.map (fun _ -> "---") header) ^ "|");
+  List.iter row rows

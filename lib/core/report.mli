@@ -96,3 +96,18 @@ val pp_structural :
 
 val pp_fig4_chart : Format.formatter -> Experiment.fig4_row list -> unit
 (** ASCII bar rendering of Figure 4 (ARM columns), for terminals. *)
+
+(** {1 Generic machine-readable tables}
+
+    Shared emitters for tabular artifacts that are data rather than
+    paper-vs-measured prose — [lib/explore]'s sweep reports render
+    through these. *)
+
+val pp_csv_table :
+  Format.formatter -> header:string list -> string list list -> unit
+(** RFC 4180 CSV: one header row then one row per entry; fields holding
+    separators, quotes or newlines are quoted with doubled quotes. *)
+
+val pp_markdown_table :
+  Format.formatter -> header:string list -> string list list -> unit
+(** A GitHub-flavoured markdown table (pipes in cells escaped). *)

@@ -2,9 +2,34 @@ type t = Random.State.t
 
 let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
 
+(* Child seeds come from full 64-bit draws finalized splitmix64-style
+   through the golden-ratio constants [create] already mixes in:
+   [Random.State.bits] alone is 30-bit and order-dependent, so a few
+   thousand splits would start colliding at the birthday bound
+   (~2^15). Each draw is spread over the whole word before it becomes
+   seed material, and the two words cross-mix so sibling streams differ
+   in every array slot. *)
+let golden64 = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
 let split t =
-  let seed = Random.State.bits t in
-  Random.State.make [| seed; Random.State.bits t |]
+  let a = mix64 (Int64.add (Random.State.bits64 t) golden64) in
+  let b =
+    mix64
+      (Int64.logxor a
+         (Int64.mul (Random.State.bits64 t) (Int64.of_int 0x5bd1e995)))
+  in
+  Random.State.make
+    [|
+      Int64.to_int a land max_int;
+      Int64.to_int b land max_int;
+      Int64.to_int (Int64.logxor a b) land max_int;
+    |]
 
 let int t ~bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";

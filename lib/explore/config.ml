@@ -1,0 +1,156 @@
+module Cost_model = Armvirt_arch.Cost_model
+module Reg_class = Armvirt_arch.Reg_class
+module H = Armvirt_hypervisor
+module Platform = Armvirt_core.Platform
+
+type hyp_choice = Kvm | Xen | Native
+
+type t = {
+  arm : Cost_model.arm;
+  tuning : H.Kvm_arm.tuning;
+  num_lrs : int;
+  vhost : bool;
+  hyp : hyp_choice;
+}
+
+let default =
+  {
+    arm = Cost_model.arm_default;
+    tuning = H.Kvm_arm.default_tuning;
+    num_lrs = 4;
+    vhost = true;
+    hyp = Kvm;
+  }
+
+let hyp_choice_of_string = function
+  | "kvm" -> Kvm
+  | "xen" -> Xen
+  | "native" -> Native
+  | s ->
+      invalid_arg
+        (Printf.sprintf "Config: unknown hypervisor %S (kvm|xen|native)" s)
+
+let hyp_choice_to_string = function
+  | Kvm -> "kvm"
+  | Xen -> "xen"
+  | Native -> "native"
+
+let knobs =
+  [
+    ("vgic.save", "VGIC register-class save cost (Table III's 3250)");
+    ("vgic.restore", "VGIC register-class restore cost (Table III's 181)");
+    ("trap_to_el2", "hardware trap cost into EL2");
+    ("eret", "exception return from EL2");
+    ("hvc_issue", "guest-side HVC issue cost");
+    ("stage2_toggle", "one Stage-2/trap reconfiguration of HCR_EL2");
+    ("vgic_slot_scan", "list-register status scan before injection");
+    ("vgic_lr_write", "one list-register write");
+    ("virq_complete", "trap-free virtual interrupt completion");
+    ("mmio_decode", "Stage-2 abort syndrome decode");
+    ("freq_ghz", "core clock in GHz (float)");
+    ("vhe", "ARMv8.1 VHE on/off (bool; forced off for xen/native)");
+    ("lazy_fp", "lazy FP switch tuning flag (bool)");
+    ("lazy_vgic", "lazy VGIC read-back tuning flag (bool)");
+    ("host_dispatch", "host-side KVM run-loop cost");
+    ("vcpu_resume", "blocked-VCPU wakeup cost");
+    ("vhost_per_packet", "VHOST backend per-packet cost");
+    ("process_switch", "VM-to-VM process switch cost");
+    ("lr_count", "GIC list registers available to the VM (int)");
+    ("vhost", "in-kernel VHOST backend on/off (bool; off quadruples the \
+               per-packet backend cost, modelling a userspace backend)");
+    ("hyp", "which hypervisor runs the point (kvm|xen|native)");
+  ]
+
+let as_int name = function
+  | Space.Int n -> n
+  | v ->
+      invalid_arg
+        (Printf.sprintf "Config: %s wants an int, got %s" name
+           (Space.value_to_string v))
+
+let as_float name = function
+  | Space.Float f -> f
+  | Space.Int n -> float_of_int n
+  | v ->
+      invalid_arg
+        (Printf.sprintf "Config: %s wants a float, got %s" name
+           (Space.value_to_string v))
+
+let as_bool name = function
+  | Space.Bool b -> b
+  | v ->
+      invalid_arg
+        (Printf.sprintf "Config: %s wants a bool, got %s" name
+           (Space.value_to_string v))
+
+let vgic_costs arm = arm.Cost_model.reg Reg_class.Vgic
+
+let apply t name v =
+  let arm f = { t with arm = f t.arm } in
+  let tuning f = { t with tuning = f t.tuning } in
+  match name with
+  | "vgic.save" ->
+      let save = as_int name v and restore = (vgic_costs t.arm).restore in
+      arm (Cost_model.with_reg_cost Reg_class.Vgic ~save ~restore)
+  | "vgic.restore" ->
+      let save = (vgic_costs t.arm).save and restore = as_int name v in
+      arm (Cost_model.with_reg_cost Reg_class.Vgic ~save ~restore)
+  | "trap_to_el2" -> arm (fun a -> { a with trap_to_el2 = as_int name v })
+  | "eret" -> arm (fun a -> { a with eret = as_int name v })
+  | "hvc_issue" -> arm (fun a -> { a with hvc_issue = as_int name v })
+  | "stage2_toggle" -> arm (fun a -> { a with stage2_toggle = as_int name v })
+  | "vgic_slot_scan" -> arm (fun a -> { a with vgic_slot_scan = as_int name v })
+  | "vgic_lr_write" -> arm (fun a -> { a with vgic_lr_write = as_int name v })
+  | "virq_complete" -> arm (fun a -> { a with virq_complete = as_int name v })
+  | "mmio_decode" -> arm (fun a -> { a with mmio_decode = as_int name v })
+  | "freq_ghz" -> arm (fun a -> { a with freq_ghz = as_float name v })
+  | "vhe" -> arm (Cost_model.with_vhe (as_bool name v))
+  | "lazy_fp" -> tuning (fun u -> { u with H.Kvm_arm.lazy_fp = as_bool name v })
+  | "lazy_vgic" ->
+      tuning (fun u -> { u with H.Kvm_arm.lazy_vgic = as_bool name v })
+  | "host_dispatch" ->
+      tuning (fun u -> { u with H.Kvm_arm.host_dispatch = as_int name v })
+  | "vcpu_resume" ->
+      tuning (fun u -> { u with H.Kvm_arm.vcpu_resume = as_int name v })
+  | "vhost_per_packet" ->
+      tuning (fun u -> { u with H.Kvm_arm.vhost_per_packet = as_int name v })
+  | "process_switch" ->
+      tuning (fun u -> { u with H.Kvm_arm.process_switch = as_int name v })
+  | "lr_count" ->
+      let n = as_int name v in
+      if n < 1 then invalid_arg "Config: lr_count < 1";
+      { t with num_lrs = n }
+  | "vhost" -> { t with vhost = as_bool name v }
+  | "hyp" -> (
+      match v with
+      | Space.Choice s -> { t with hyp = hyp_choice_of_string s }
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Config: hyp wants kvm|xen|native, got %s"
+               (Space.value_to_string v)))
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Config: unknown knob %S (see Config.knobs)" name)
+
+let apply_point t point = List.fold_left (fun t (k, v) -> apply t k v) t point
+
+let hypervisor t =
+  (* Xen is Type 1 and Native has no EL2 resident — E2H stays clear for
+     both, so a sweep mixing hypervisors never hits the Platform guard. *)
+  let arm =
+    match t.hyp with Kvm -> t.arm | Xen | Native -> Cost_model.with_vhe false t.arm
+  in
+  let machine = Platform.machine_with ~cost:(Cost_model.Arm arm) in
+  match t.hyp with
+  | Kvm ->
+      let tuning =
+        if t.vhost then t.tuning
+        else
+          {
+            t.tuning with
+            H.Kvm_arm.vhost_per_packet = t.tuning.H.Kvm_arm.vhost_per_packet * 4;
+          }
+      in
+      H.Kvm_arm.to_hypervisor (H.Kvm_arm.create ~tuning machine)
+  | Xen -> H.Xen_arm.to_hypervisor (H.Xen_arm.create machine)
+  | Native -> H.Native.to_hypervisor (H.Native.create machine)

@@ -1,0 +1,12 @@
+(** Pareto frontier over multi-objective results. *)
+
+val dominates :
+  dirs:Objective.direction list -> float array -> float array -> bool
+(** [dominates ~dirs a b]: [a] is no worse than [b] on every objective
+    (respecting each direction) and strictly better on at least one.
+    Equal rows dominate in neither direction. *)
+
+val frontier : dirs:Objective.direction list -> float array list -> int list
+(** Indices (into the input list, ascending) of the non-dominated rows.
+    Exact duplicate rows keep only the first occurrence. Raises
+    [Invalid_argument] on an empty [dirs] or a row arity mismatch. *)

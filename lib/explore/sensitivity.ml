@@ -1,0 +1,59 @@
+type ranking = {
+  axis : string;
+  lo : float;
+  hi : float;
+  span : float;
+  span_pct : float;  (** span relative to the base value (0 if base = 0). *)
+}
+
+let deviating_axis ~base point =
+  let diffs =
+    List.filter_map
+      (fun (k, v) ->
+        match List.assoc_opt k base with
+        | Some v0 when v0 = v -> None
+        | _ -> Some k)
+      point
+  in
+  match diffs with
+  | [ k ] -> Some k
+  | [] -> None
+  | _ -> invalid_arg "Sensitivity.rank: point deviates in several axes"
+
+let rank ~points ~values =
+  match (points, values) with
+  | base :: rest_p, base_v :: rest_v
+    when List.length rest_p = List.length rest_v ->
+      let by_axis = Hashtbl.create 8 in
+      List.iter2
+        (fun p v ->
+          match deviating_axis ~base p with
+          | None -> () (* a duplicate of the base adds no information *)
+          | Some axis ->
+              let prev =
+                Option.value (Hashtbl.find_opt by_axis axis) ~default:[]
+              in
+              Hashtbl.replace by_axis axis (v :: prev))
+        rest_p rest_v;
+      let rankings =
+        Hashtbl.fold
+          (fun axis vs acc ->
+            let all = base_v :: vs in
+            let lo = List.fold_left min (List.hd all) (List.tl all) in
+            let hi = List.fold_left max (List.hd all) (List.tl all) in
+            let span = hi -. lo in
+            let span_pct =
+              if base_v = 0. then 0. else span /. Float.abs base_v *. 100.
+            in
+            { axis; lo; hi; span; span_pct } :: acc)
+          by_axis []
+      in
+      List.sort
+        (fun a b ->
+          match compare b.span a.span with
+          | 0 -> compare a.axis b.axis
+          | c -> c)
+        rankings
+  | _ ->
+      invalid_arg
+        "Sensitivity.rank: need a base point and matching points/values"

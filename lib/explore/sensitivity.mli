@@ -1,0 +1,20 @@
+(** Per-axis sensitivity ranking from a one-at-a-time design.
+
+    Feeding the {!Sampler.Oat} points and their objective values here
+    answers "which constant dominates this metric" — on the hypercall
+    objective the VGIC save cost tops the ranking, the paper's Table III
+    observation recovered from the model. *)
+
+type ranking = {
+  axis : string;
+  lo : float;  (** Smallest objective value seen varying this axis. *)
+  hi : float;
+  span : float;  (** [hi - lo] — the ranking key, descending. *)
+  span_pct : float;  (** Span as a percentage of the base value. *)
+}
+
+val rank : points:Space.point list -> values:float list -> ranking list
+(** [points] and [values] in {!Sampler.Oat} order: base first, then one
+    point per deviation. Ties broken by axis name. Raises
+    [Invalid_argument] on length mismatch, an empty list, or a point
+    deviating in more than one axis. *)

@@ -1,0 +1,52 @@
+(** Typed description of a design space: named axes over cost-model
+    constants, hypervisor tuning knobs and platform choices.
+
+    A space is pure data — sampling it yields {!point}s, and
+    {!Config.apply_point} turns a point into a fresh configuration
+    functionally, so concurrently evaluated points never share state. *)
+
+type value = Int of int | Float of float | Bool of bool | Choice of string
+
+type spec =
+  | Int_range of { lo : int; hi : int; step : int }
+      (** [lo, lo+step, ..] up to and including [hi] when it lands. *)
+  | Float_range of { lo : float; hi : float; step : float }
+  | Levels of value list  (** Explicit levels, in order. *)
+
+type axis = { name : string; spec : spec }
+
+type t = axis list
+
+type point = (string * value) list
+(** One sampled assignment, in axis order. *)
+
+val axis : string -> spec -> axis
+(** Raises [Invalid_argument] on an empty name, empty levels, a
+    non-positive step or an inverted range. *)
+
+val of_axes : axis list -> t
+(** Raises [Invalid_argument] on duplicate axis names or an empty list. *)
+
+val levels : axis -> value list
+(** The discrete levels a grid or one-at-a-time sampler enumerates. *)
+
+val size : t -> int
+(** Number of full-grid points (product of level counts). *)
+
+val value_to_string : value -> string
+val value_to_float : value -> float
+(** [Bool] maps to 0/1; raises [Invalid_argument] on [Choice]. *)
+
+val point_to_string : point -> string
+(** ["vgic.save=2500 lr_count=4"] — stable, for logs and memo keys. *)
+
+val of_string : string -> t
+(** Parse the CLI syntax: comma-separated [name=spec] bindings where
+    spec is [lo:hi:step] (ints, or floats if any bound has a point) or
+    [v|v|...] explicit levels (ints, floats, [true]/[false], anything
+    else a choice label). Example:
+    ["vgic.save=2000:4375:625,lr_count=2|4,hyp=kvm|xen"].
+    Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string} (canonical form). *)

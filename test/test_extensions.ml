@@ -48,6 +48,25 @@ let test_rng_split_independent () =
   let b = List.init 10 (fun _ -> Rng.int child ~bound:1000) in
   Alcotest.(check bool) "streams differ" true (a <> b)
 
+let test_rng_split_no_collisions () =
+  (* 1k sibling streams from one parent: with 64-bit mixed child seeds
+     no two streams should open identically (the old 30-bit draws hit
+     birthday collisions around 2^15 streams; a collision among 1k
+     would mean the mixing regressed). *)
+  let parent = Rng.create ~seed:11 in
+  let bound = (1 lsl 30) - 1 in
+  (* Two ~30-bit draws per stream: ~60 bits of fingerprint, so a false
+     collision among 1k streams is a ~4e-13 event. *)
+  let fingerprint r = (Rng.int r ~bound, Rng.int r ~bound) in
+  let seen = Hashtbl.create 1024 in
+  for i = 1 to 1000 do
+    let fp = fingerprint (Rng.split parent) in
+    if Hashtbl.mem seen fp then
+      Alcotest.failf "split stream %d collides with an earlier sibling" i;
+    Hashtbl.add seen fp ()
+  done;
+  Alcotest.(check int) "1000 distinct streams" 1000 (Hashtbl.length seen)
+
 let prop_rng_pareto_above_scale =
   QCheck.Test.make ~name:"pareto samples >= scale"
     QCheck.(int_range 1 1000)
@@ -428,6 +447,8 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split collision-free at 1k" `Quick
+            test_rng_split_no_collisions;
         ]
         @ qcheck [ prop_rng_pareto_above_scale ] );
       ( "credit_sched",
