@@ -9,7 +9,7 @@
                       isolation guestops crosscall vapic twodwalk multiqueue
                       lazyswitch consolidation tracereplay structural
                       fig4chart
-     also:            bechamel, runner, explore, all (default) *)
+     also:            bechamel, runner, explore, migrate, all (default) *)
 
 module Experiment = Armvirt_core.Experiment
 module Report = Armvirt_core.Report
@@ -124,6 +124,48 @@ let run_explore_bench () =
     ((sweep -. bare) /. float_of_int n *. 1e6)
     ((sweep -. bare) /. bare *. 100.)
 
+(* Live migration: what shipping one page actually costs through each
+   hypervisor's transport, against the bare memcpy+wire lower bound the
+   Native profile gives (no wp faults, no harvest, no kicks). *)
+let run_migrate_bench () =
+  let module P = Armvirt_core.Platform in
+  let module WM = Armvirt_workloads.Migration in
+  let module Pre = Armvirt_migrate.Precopy in
+  let results =
+    Runner.map
+      (fun (name, build) -> (name, WM.run (build ())))
+      [
+        ("Native (memcpy+wire)", fun () -> P.native P.Arm_m400);
+        ("KVM ARM", fun () -> P.hypervisor P.Arm_m400 P.Kvm);
+        ("KVM ARM (VHE)", fun () -> P.hypervisor P.Arm_m400_vhe P.Kvm);
+        ("Xen ARM", fun () -> P.hypervisor P.Arm_m400 P.Xen);
+      ]
+  in
+  let per_page (round : Pre.round) =
+    round.Pre.duration_us /. float_of_int (Stdlib.max 1 round.Pre.pages)
+  in
+  let floor =
+    match results with
+    | (_, n) :: _ -> (
+        match n.WM.rounds with r :: _ -> per_page r | [] -> 1.0)
+    | [] -> 1.0
+  in
+  Format.fprintf ppf
+    "Migrate: pre-copy cost per shipped page (us), per round, vs the \
+     bare memcpy+wire floor of %.3f us/page@."
+    floor;
+  List.iter
+    (fun (name, (r : WM.result)) ->
+      Format.fprintf ppf "  %-22s" name;
+      List.iteri
+        (fun i round ->
+          if i < 5 then
+            Format.fprintf ppf "  r%d %.3f (+%.0f%%)" i (per_page round)
+              ((per_page round -. floor) /. floor *. 100.0))
+        r.WM.rounds;
+      Format.fprintf ppf "@.")
+    results
+
 (* Bechamel: how fast the simulator itself regenerates each artifact.
    Every staged run clears the cross-artifact memo table first, so
    iterations measure regeneration, not cache hits. *)
@@ -227,9 +269,11 @@ let run_one name =
       if name = "bechamel" then run_bechamel ()
       else if name = "runner" then run_runner_bench ()
       else if name = "explore" then run_explore_bench ()
+      else if name = "migrate" then run_migrate_bench ()
       else begin
         Format.fprintf ppf
-          "unknown experiment %S; available: %s bechamel runner explore all@."
+          "unknown experiment %S; available: %s bechamel runner explore \
+           migrate all@."
           name
           (String.concat " " (List.map fst experiments));
         exit 1
@@ -242,5 +286,6 @@ let () =
       List.iter (fun (name, _) -> run_one name) experiments;
       run_bechamel ();
       run_runner_bench ();
-      run_explore_bench ()
+      run_explore_bench ();
+      run_migrate_bench ()
   | names -> List.iter run_one names

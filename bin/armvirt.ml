@@ -7,7 +7,8 @@
      app           run one application workload through the Figure 4 model
      rr            run the Netperf TCP_RR decomposition on one hypervisor
      trace         run an experiment under the tracer and export the trace
-     explore       sweep or calibrate the design space (lib/explore) *)
+     explore       sweep or calibrate the design space (lib/explore)
+     migrate       live-migrate a loaded VM and report downtime vs the SLO *)
 
 module Platform = Armvirt_core.Platform
 module Experiment = Armvirt_core.Experiment
@@ -207,6 +208,7 @@ let experiments =
     ("multiqueue", "Extension: virtio-net multiqueue vs the IRQ bottleneck");
     ("tracereplay", "Extension: synthetic trace replay, per-request surcharges");
     ("consolidation", "Extension: VM density (N memcached VMs per host)");
+    ("migrate", "Extension: live-migration downtime/SLO under request load");
     ("fig4chart", "Figure 4 as ASCII bars (ARM columns)");
   ]
 
@@ -270,6 +272,7 @@ let run_experiment ppf = function
       Report.pp_vapic_apps ppf (Experiment.vapic_apps ())
   | "consolidation" ->
       Report.pp_consolidation ppf (Experiment.consolidation ())
+  | "migrate" -> Report.pp_migrate ppf (Experiment.migrate ())
   | "fig4chart" -> Report.pp_fig4_chart ppf (Experiment.fig4 ())
   | other -> Format.fprintf ppf "unknown experiment %S; try `armvirt list`@." other
 
@@ -706,6 +709,171 @@ let explore_cmd =
       $ format_arg $ seed_arg $ calibrate_arg $ restarts_arg $ knobs_arg
       $ objectives_list_arg $ jobs_arg $ trace_file_arg)
 
+(* --- migrate --------------------------------------------------------------- *)
+
+module Migrate = Armvirt_migrate
+
+let migrate_cmd =
+  let module Plan = Migrate.Plan in
+  let opt_int names default docv doc =
+    Arg.(value & opt int default & info names ~docv ~doc)
+  in
+  let opt_float names default docv doc =
+    Arg.(value & opt float default & info names ~docv ~doc)
+  in
+  let d = Plan.default in
+  let pages = opt_int [ "pages" ] d.Plan.pages "N" "Guest memory in pages." in
+  let page_kb =
+    opt_int [ "page-kb" ] d.Plan.page_kb "KB" "Page granule in KiB."
+  in
+  let vcpus = opt_int [ "vcpus" ] d.Plan.vcpus "N" "VCPUs to pause at blackout." in
+  let hot_pages =
+    opt_int [ "hot-pages" ] d.Plan.hot_pages "N"
+      "Hot working-set size in pages."
+  in
+  let rate =
+    opt_float [ "rate" ] d.Plan.txn_rate_hz "HZ"
+      "Request arrival rate (each request dirties pages: the dirty rate)."
+  in
+  let bandwidth =
+    opt_float [ "bandwidth" ] d.Plan.bandwidth_gbps "GBPS"
+      "Migration link bandwidth in Gb/s."
+  in
+  let rounds =
+    opt_int [ "rounds" ] d.Plan.max_rounds "N"
+      "Pre-copy round cap before forced stop-and-copy."
+  in
+  let downtime =
+    opt_float [ "downtime" ] d.Plan.downtime_target_us "US"
+      "Downtime SLO in microseconds (the convergence test)."
+  in
+  let seed = opt_int [ "seed" ] d.Plan.seed "SEED" "Write-stream RNG seed." in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Run every platform/hypervisor model on the same plan (as \
+             parallel runner cells) instead of the single $(b,-p)/$(b,-H) \
+             configuration.")
+  in
+  let detail =
+    Arg.(
+      value & flag
+      & info [ "rounds-detail" ]
+          ~doc:"Also print per-round pages/length/p99 for every config.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("md", `Md); ("csv", `Csv) ])) None
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Machine-readable output instead of the text report: $(b,md) \
+             or $(b,csv), one row per configuration.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file for --format; $(b,-) (default) is stdout.")
+  in
+  let with_out out f =
+    match out with
+    | "-" ->
+        f Format.std_formatter;
+        Format.pp_print_flush Format.std_formatter ()
+    | path ->
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        f fmt;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path
+  in
+  let table_rows rows =
+    let header =
+      [
+        "config"; "transport"; "rounds"; "total_us"; "downtime_us";
+        "pages_sent"; "pages_resent"; "final_pages"; "wp_faults"; "converged";
+        "baseline_p99_us"; "worst_round"; "worst_p99_us"; "p99_degradation";
+        "post_p99_us";
+      ]
+    in
+    let cells (name, (r : W.Migration.result)) =
+      [
+        name;
+        r.W.Migration.transport;
+        string_of_int r.W.Migration.precopy_rounds;
+        Printf.sprintf "%.1f" (r.W.Migration.total_ms *. 1e3);
+        Printf.sprintf "%.1f" r.W.Migration.downtime_us;
+        string_of_int r.W.Migration.pages_sent;
+        string_of_int r.W.Migration.pages_resent;
+        string_of_int r.W.Migration.final_pages;
+        string_of_int r.W.Migration.wp_faults;
+        string_of_bool r.W.Migration.converged;
+        Printf.sprintf "%.2f" r.W.Migration.baseline_p99_us;
+        string_of_int r.W.Migration.worst_round;
+        Printf.sprintf "%.2f" r.W.Migration.worst_p99_us;
+        Printf.sprintf "%.3f" r.W.Migration.p99_degradation;
+        Printf.sprintf "%.2f" r.W.Migration.post_p99_us;
+      ]
+    in
+    (header, List.map cells rows)
+  in
+  let run platform hyp pages page_kb vcpus hot_pages rate bandwidth rounds
+      downtime seed compare detail format out jobs trace_file =
+    apply_jobs jobs;
+    let plan =
+      {
+        d with
+        Plan.pages;
+        page_kb;
+        vcpus;
+        hot_pages;
+        txn_rate_hz = rate;
+        bandwidth_gbps = bandwidth;
+        max_rounds = rounds;
+        downtime_target_us = downtime;
+        seed;
+      }
+    in
+    (match Plan.validate plan with
+    | () -> ()
+    | exception Invalid_argument msg ->
+        Format.fprintf ppf "invalid plan: %s@." msg;
+        exit 2);
+    with_session ~context:"migrate" ~trace_file ~verbose:false @@ fun () ->
+    let results =
+      if compare then Experiment.migrate ~plan ()
+      else
+        [
+          traced_cell "migrate#0.0" (fun () ->
+              let hypervisor = resolve platform hyp in
+              (hypervisor.Hypervisor.name, W.Migration.run ~plan hypervisor));
+        ]
+    in
+    match format with
+    | None ->
+        Report.pp_migrate ppf results;
+        if detail then Report.pp_migrate_rounds ppf results
+    | Some fmt ->
+        let header, rows = table_rows results in
+        with_out out (fun out_ppf ->
+            match fmt with
+            | `Csv -> Report.pp_csv_table out_ppf ~header rows
+            | `Md -> Report.pp_markdown_table out_ppf ~header rows)
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Live-migrate a VM under request load: pre-copy with stage-2 \
+          dirty logging, downtime vs the SLO")
+    Term.(
+      const run $ platform_arg $ hyp_arg $ pages $ page_kb $ vcpus $ hot_pages
+      $ rate $ bandwidth $ rounds $ downtime $ seed $ compare $ detail
+      $ format_arg $ out_arg $ jobs_arg $ trace_file_arg)
+
 (* --- report ---------------------------------------------------------------- *)
 
 let report_cmd =
@@ -742,5 +910,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
-            timeline_cmd; explore_cmd; report_cmd;
+            timeline_cmd; explore_cmd; migrate_cmd; report_cmd;
           ]))

@@ -18,6 +18,7 @@ type arm = {
   tlb_local_invalidate : int;
   per_byte_copy : float;
   page_map_cost : int;
+  stage2_wp_fault : int;
   vhe : bool;
 }
 
@@ -35,6 +36,7 @@ type x86 = {
   tlb_shootdown_per_cpu : int;
   per_byte_copy : float;
   page_map_cost : int;
+  stage2_wp_fault : int;
 }
 
 type t = Arm of arm | X86 of x86
@@ -68,6 +70,7 @@ let arm_default =
     tlb_local_invalidate = 150;
     per_byte_copy = 0.25;
     page_map_cost = 420;
+    stage2_wp_fault = 780;
     vhe = false;
   }
 
@@ -75,6 +78,8 @@ let arm_default =
    update of a base model, never a mutation — sampled design points and
    ablations can coexist in one process. *)
 let with_vhe vhe arm = { arm with vhe }
+let with_stage2_wp_fault stage2_wp_fault (arm : arm) =
+  { arm with stage2_wp_fault }
 
 let with_reg_cost cls ~save ~restore arm =
   let prev = arm.reg in
@@ -120,6 +125,7 @@ let x86_default =
     tlb_shootdown_per_cpu = 1200;
     per_byte_copy = 0.25;
     page_map_cost = 380;
+    stage2_wp_fault = 640;
   }
 
 let freq_ghz = function Arm a -> a.freq_ghz | X86 x -> x.freq_ghz

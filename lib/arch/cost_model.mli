@@ -52,6 +52,13 @@ type arm = {
   tlb_local_invalidate : int;
   per_byte_copy : float;  (** Cycles per byte of kernel memcpy. *)
   page_map_cost : int;  (** Installing one page mapping (any table). *)
+  stage2_wp_fault : int;
+      (** Hypervisor-side handling of a stage-2 permission fault taken on
+          a write-protected page during dirty logging: syndrome decode,
+          dirty-bitmap update, and the write-permission restore — the
+          software half of the fault, on top of the transition costs the
+          hypervisor model composes around it. Distinct from
+          [page_map_cost]: no table walk or allocation, the PTE exists. *)
   vhe : bool;
       (** ARMv8.1 Virtualization Host Extensions (E2H set): the host OS
           runs in EL2, so VM transitions skip the EL1 system-register
@@ -81,6 +88,10 @@ type x86 = {
           the data" (section V). *)
   per_byte_copy : float;
   page_map_cost : int;
+  stage2_wp_fault : int;
+      (** EPT-violation handling for a write to a logged page: dirty
+          bitmap update + EPT permission restore, excluding the VMCS
+          transition pair around it. *)
 }
 
 type t = Arm of arm | X86 of x86
@@ -117,6 +128,11 @@ val arch_name : t -> string
 
 val with_vhe : bool -> arm -> arm
 (** Flip the ARMv8.1 E2H behaviour on a copy of the model. *)
+
+val with_stage2_wp_fault : int -> arm -> arm
+(** Override the dirty-logging write-protect fault cost — the knob
+    [lib/explore] sweeps to ask how much fault-handling software cost
+    contributes to migration downtime. *)
 
 val with_reg_cost : Reg_class.t -> save:int -> restore:int -> arm -> arm
 (** Override one register class's context-switch costs, leaving every

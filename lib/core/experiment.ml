@@ -768,6 +768,23 @@ let structural () =
       hackbench "Xen ARM" Platform.Xen;
     ]
 
+(* --- migrate ------------------------------------------------------ *)
+
+let migrate_configs =
+  [
+    ("KVM ARM (VHE)", Platform.Arm_m400_vhe, Platform.Kvm);
+    ("KVM ARM", Platform.Arm_m400, Platform.Kvm);
+    ("Xen ARM", Platform.Arm_m400, Platform.Xen);
+    ("KVM x86", Platform.X86_r320, Platform.Kvm);
+    ("Xen x86", Platform.X86_r320, Platform.Xen);
+  ]
+
+let migrate ?plan () =
+  Runner.map
+    (fun (name, p, id) ->
+      (name, W.Migration.run ?plan (Platform.hypervisor p id)))
+    migrate_configs
+
 let lrs () =
   Runner.map
     (fun (name, id) ->

@@ -221,6 +221,18 @@ val consolidation : unit -> consolidation_row list
 (** VM density: N memcached VMs per host. KVM scales per-VM vhost
     threads; Xen funnels every VM through netback in Dom0. *)
 
+val migrate :
+  ?plan:Armvirt_migrate.Plan.t ->
+  unit ->
+  (string * Armvirt_workloads.Migration.result) list
+(** Live migration under request load on every platform/hypervisor
+    model, fanned out as independent {!Runner} cells (one fresh machine
+    each, so results are identical at every [--jobs] level). Order:
+    KVM ARM (VHE), KVM ARM, Xen ARM, KVM x86, Xen x86 — on the default
+    plan the blackouts reproduce the architectural ordering
+    VHE < split-mode KVM ARM < Xen x86, while Xen ARM's grant-copy
+    transport fails to converge and hits the round cap. *)
+
 type structural_row = {
   st_config : string;
   st_metric : string;

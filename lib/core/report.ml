@@ -579,6 +579,63 @@ let pp_zerocopy ppf rows =
     rows;
   hline ppf 86
 
+let pp_migrate ppf rows =
+  (match rows with
+  | (_, (r : Armvirt_workloads.Migration.result)) :: _ ->
+      Format.fprintf ppf
+        "Extension: live migration under request load — pre-copy with \
+         stage-2 dirty logging@.";
+      Format.fprintf ppf "Plan: %a@." Armvirt_migrate.Plan.pp
+        r.Armvirt_workloads.Migration.plan
+  | [] -> ());
+  hline ppf 108;
+  Format.fprintf ppf "%-14s %6s %9s %12s %7s %7s %6s %5s %13s %9s@." "Config"
+    "rounds" "total ms" "downtime us" "sent" "resent" "final" "conv"
+    "worst p99 us" "p99 x";
+  hline ppf 108;
+  List.iter
+    (fun (name, (r : Armvirt_workloads.Migration.result)) ->
+      Format.fprintf ppf
+        "%-14s %6d %9.2f %12.1f %7d %7d %6d %5b %13.1f %8.1fx@." name
+        r.Armvirt_workloads.Migration.precopy_rounds r.total_ms r.downtime_us
+        r.pages_sent r.pages_resent r.final_pages r.converged r.worst_p99_us
+        r.p99_degradation)
+    rows;
+  hline ppf 108;
+  Format.fprintf ppf
+    "(downtime = stop-and-copy blackout; p99 x = worst pre-copy round \
+     request p99 over the %.1f us idle baseline)@."
+    (match rows with
+    | (_, r) :: _ -> r.Armvirt_workloads.Migration.baseline_p99_us
+    | [] -> 0.0)
+
+let pp_migrate_rounds ppf rows =
+  Format.fprintf ppf
+    "Per-round RR degradation (pages shipped, round length, request p99):@.";
+  hline ppf 96;
+  List.iter
+    (fun (name, (r : Armvirt_workloads.Migration.result)) ->
+      Format.fprintf ppf "%-14s baseline p99 %.1f us@." name
+        r.Armvirt_workloads.Migration.baseline_p99_us;
+      List.iter
+        (fun (round : Armvirt_migrate.Precopy.round) ->
+          let p99 = round.Armvirt_migrate.Precopy.p99_us in
+          Format.fprintf ppf
+            "  round %2d: %5d pages %10.1f us   p99 %s@."
+            round.Armvirt_migrate.Precopy.index
+            round.Armvirt_migrate.Precopy.pages
+            round.Armvirt_migrate.Precopy.duration_us
+            (if Float.is_nan p99 then "-"
+             else
+               Printf.sprintf "%8.1f us (%.1fx)" p99
+                 (p99 /. r.Armvirt_workloads.Migration.baseline_p99_us)))
+        r.Armvirt_workloads.Migration.rounds;
+      Format.fprintf ppf "  blackout: %.1f us   post-resume p99 %.1f us@."
+        r.Armvirt_workloads.Migration.downtime_us
+        r.Armvirt_workloads.Migration.post_p99_us)
+    rows;
+  hline ppf 96
+
 (* --- generic machine-readable tables --------------------------------- *)
 
 (* CSV per RFC 4180: fields containing separators, quotes or newlines are

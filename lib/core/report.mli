@@ -97,6 +97,21 @@ val pp_structural :
 val pp_fig4_chart : Format.formatter -> Experiment.fig4_row list -> unit
 (** ASCII bar rendering of Figure 4 (ARM columns), for terminals. *)
 
+val pp_migrate :
+  Format.formatter ->
+  (string * Armvirt_workloads.Migration.result) list ->
+  unit
+(** Live-migration summary: one row per configuration with round count,
+    total time, blackout, pages re-sent and the worst-round RR p99
+    degradation. *)
+
+val pp_migrate_rounds :
+  Format.formatter ->
+  (string * Armvirt_workloads.Migration.result) list ->
+  unit
+(** The per-round detail behind {!pp_migrate}: pages shipped, round
+    length and request p99 for every pre-copy round. *)
+
 (** {1 Generic machine-readable tables}
 
     Shared emitters for tabular artifacts that are data rather than

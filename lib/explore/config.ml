@@ -2,6 +2,7 @@ module Cost_model = Armvirt_arch.Cost_model
 module Reg_class = Armvirt_arch.Reg_class
 module H = Armvirt_hypervisor
 module Platform = Armvirt_core.Platform
+module Plan = Armvirt_migrate.Plan
 
 type hyp_choice = Kvm | Xen | Native
 
@@ -11,6 +12,7 @@ type t = {
   num_lrs : int;
   vhost : bool;
   hyp : hyp_choice;
+  migration : Plan.t;
 }
 
 let default =
@@ -20,6 +22,7 @@ let default =
     num_lrs = 4;
     vhost = true;
     hyp = Kvm;
+    migration = Plan.default;
   }
 
 let hyp_choice_of_string = function
@@ -59,6 +62,15 @@ let knobs =
     ("vhost", "in-kernel VHOST backend on/off (bool; off quadruples the \
                per-packet backend cost, modelling a userspace backend)");
     ("hyp", "which hypervisor runs the point (kvm|xen|native)");
+    ("stage2_wp_fault", "stage-2 write-protection fault handling cost \
+                         (dirty logging, distinct from a missing mapping)");
+    ("mig.txn_rate_hz", "migration workload request arrival rate (float, \
+                         sets the guest dirty rate)");
+    ("mig.bandwidth_gbps", "migration link bandwidth in Gbps (float)");
+    ("mig.page_kb", "migration page granule in KiB (int; total guest \
+                     memory is held constant)");
+    ("mig.max_rounds", "pre-copy round cap before forced stop-and-copy");
+    ("mig.downtime_us", "downtime SLO driving pre-copy convergence (float)");
   ]
 
 let as_int name = function
@@ -88,6 +100,11 @@ let vgic_costs arm = arm.Cost_model.reg Reg_class.Vgic
 let apply t name v =
   let arm f = { t with arm = f t.arm } in
   let tuning f = { t with tuning = f t.tuning } in
+  let mig f =
+    let m = f t.migration in
+    Plan.validate m;
+    { t with migration = m }
+  in
   match name with
   | "vgic.save" ->
       let save = as_int name v and restore = (vgic_costs t.arm).restore in
@@ -128,6 +145,30 @@ let apply t name v =
           invalid_arg
             (Printf.sprintf "Config: hyp wants kvm|xen|native, got %s"
                (Space.value_to_string v)))
+  | "stage2_wp_fault" ->
+      arm (Cost_model.with_stage2_wp_fault (as_int name v))
+  | "mig.txn_rate_hz" ->
+      mig (fun m -> { m with Plan.txn_rate_hz = as_float name v })
+  | "mig.bandwidth_gbps" ->
+      mig (fun m -> { m with Plan.bandwidth_gbps = as_float name v })
+  | "mig.page_kb" ->
+      (* Resize the granule, hold guest memory and the hot-set byte
+         footprint constant: 4096 x 4K and 2048 x 8K are the same VM. *)
+      mig (fun m ->
+          let kb = as_int name v in
+          if kb < 1 then invalid_arg "Config: mig.page_kb < 1";
+          let total_kb = m.Plan.pages * m.Plan.page_kb in
+          let hot_kb = m.Plan.hot_pages * m.Plan.page_kb in
+          {
+            m with
+            Plan.page_kb = kb;
+            pages = max 1 (total_kb / kb);
+            hot_pages = max 1 (hot_kb / kb);
+          })
+  | "mig.max_rounds" ->
+      mig (fun m -> { m with Plan.max_rounds = as_int name v })
+  | "mig.downtime_us" ->
+      mig (fun m -> { m with Plan.downtime_target_us = as_float name v })
   | _ ->
       invalid_arg
         (Printf.sprintf "Config: unknown knob %S (see Config.knobs)" name)

@@ -14,6 +14,9 @@ type t = {
   num_lrs : int;  (** List registers, consumed by the LR objectives. *)
   vhost : bool;  (** [false] models a userspace (QEMU-style) backend. *)
   hyp : hyp_choice;
+  migration : Armvirt_migrate.Plan.t;
+      (** Scenario for the [mig-*] objectives; the [mig.*] knobs edit it
+          (page-size edits hold total guest memory constant). *)
 }
 
 val default : t

@@ -167,6 +167,48 @@ let all =
             .W.Lr_sensitivity.cycles_per_interrupt);
     };
     {
+      name = "mig-downtime";
+      doc = "live-migration blackout under the point's mig.* scenario";
+      unit_ = "us";
+      direction = Min;
+      eval =
+        (fun c ->
+          (W.Migration.run ~plan:c.Config.migration (Config.hypervisor c))
+            .W.Migration.downtime_us);
+    };
+    {
+      name = "mig-total";
+      doc = "live-migration total time, first protect to resume";
+      unit_ = "us";
+      direction = Min;
+      eval =
+        (fun c ->
+          (W.Migration.run ~plan:c.Config.migration (Config.hypervisor c))
+            .W.Migration.total_ms
+          *. 1e3);
+    };
+    {
+      name = "mig-resent";
+      doc = "pages shipped more than once during pre-copy";
+      unit_ = "pages";
+      direction = Min;
+      eval =
+        (fun c ->
+          float_of_int
+            (W.Migration.run ~plan:c.Config.migration (Config.hypervisor c))
+              .W.Migration.pages_resent);
+    };
+    {
+      name = "mig-p99-degradation";
+      doc = "worst pre-copy round request p99 over the baseline p99";
+      unit_ = "x";
+      direction = Min;
+      eval =
+        (fun c ->
+          (W.Migration.run ~plan:c.Config.migration (Config.hypervisor c))
+            .W.Migration.p99_degradation);
+    };
+    {
       name = "hypercall-err";
       doc = "percent error of the hypercall cost vs Table II";
       unit_ = "%";

@@ -21,6 +21,8 @@ val all : t list
 (** [hypercall], [ict], [virq-complete], [vm-switch], [io-out], [io-in]
     (median cycles); [rr-rate], [rr-us], [maerts-gbps], [stream-gbps]
     (Netperf); [tail-p99]; [lr-overhead] (uses the point's [lr_count]);
+    [mig-downtime], [mig-total], [mig-resent], [mig-p99-degradation]
+    (live migration under the point's [migration] plan);
     [hypercall-err] and [table2-err] (percent error vs the paper —
     these raise [Invalid_argument] for [hyp=native], which has no
     Table II column). *)

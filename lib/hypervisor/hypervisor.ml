@@ -19,6 +19,7 @@ type t = {
   io_latency_out : unit -> Cycles.t;
   io_latency_in : unit -> Cycles.t;
   io_profile : Io_profile.t;
+  migrate : Migrate_profile.t;
   guest : Armvirt_guest.Kernel_costs.t;
 }
 

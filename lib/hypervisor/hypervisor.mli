@@ -40,6 +40,8 @@ type t = {
   io_latency_in : unit -> Armvirt_engine.Cycles.t;
       (** Backend signal → guest interrupt handler. *)
   io_profile : Io_profile.t;
+  migrate : Migrate_profile.t;
+      (** Live-migration cost profile consumed by [lib/migrate]. *)
   guest : Armvirt_guest.Kernel_costs.t;
 }
 

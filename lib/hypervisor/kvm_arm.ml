@@ -344,6 +344,28 @@ let io_profile t =
     zero_copy = true;
   }
 
+(* Live migration, KVM-style: a QEMU migration thread harvests the
+   dirty bitmap (KVM_GET_DIRTY_LOG) and streams pages through a vhost
+   ring. The dirty-logging fault is a full VM exit + re-entry around the
+   fault handler, so the VHE and split-mode profiles diverge by exactly
+   the Table III world-switch the paper measures. *)
+let migrate_profile t =
+  let hw, exit_cost, entry_cost = path_costs t in
+  {
+    Migrate_profile.transport = "vhost";
+    wp_fault_guest_cpu =
+      exit_cost + hw.Cost_model.stage2_wp_fault + hw.Cost_model.page_map_cost
+      + hw.Cost_model.tlb_local_invalidate + entry_cost;
+    harvest_per_page =
+      hw.Cost_model.page_map_cost + hw.Cost_model.tlb_local_invalidate;
+    page_copy_per_byte = hw.Cost_model.per_byte_copy;
+    page_send_per_page = t.tun.vhost_per_packet;
+    batch_kick = 300 (* eventfd signal, as in io_latency_in *);
+    pause_vcpu = exit_cost + dispatch_cost t;
+    resume_vcpu = t.tun.vcpu_resume + entry_cost;
+    state_transfer = Cost_model.arm_full_save hw + Cost_model.arm_full_restore hw;
+  }
+
 let to_hypervisor t =
   {
     Hypervisor.name = (if vhe t then "KVM ARM (VHE)" else "KVM ARM");
@@ -359,5 +381,6 @@ let to_hypervisor t =
     io_latency_out = (fun () -> io_latency_out t);
     io_latency_in = (fun () -> io_latency_in t);
     io_profile = io_profile t;
+    migrate = migrate_profile t;
     guest = t.guest;
   }

@@ -100,4 +100,6 @@ val hypercall_breakdown :
     Table III from the model's instrumentation. *)
 
 val io_profile : t -> Io_profile.t
+val migrate_profile : t -> Migrate_profile.t
+
 val to_hypervisor : t -> Hypervisor.t

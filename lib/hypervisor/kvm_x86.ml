@@ -192,6 +192,26 @@ let io_profile t =
     zero_copy = true;
   }
 
+(* KVM x86 migration: identical software structure to KVM ARM (QEMU
+   migration thread + vhost ring + dirty bitmap), but the logging fault
+   is bracketed by the fixed-function VMCS transition pair instead of a
+   software world switch. *)
+let migrate_profile t =
+  let hw = X86_ops.hw t.ops in
+  let exit_entry = hw.Cost_model.vmexit + hw.Cost_model.vmentry in
+  {
+    Migrate_profile.transport = "vhost";
+    wp_fault_guest_cpu =
+      exit_entry + hw.Cost_model.stage2_wp_fault + hw.Cost_model.page_map_cost;
+    harvest_per_page = hw.Cost_model.page_map_cost;
+    page_copy_per_byte = hw.Cost_model.per_byte_copy;
+    page_send_per_page = t.tun.vhost_per_packet;
+    batch_kick = 300 (* eventfd signal, as in io_latency_in *);
+    pause_vcpu = hw.Cost_model.vmexit + t.tun.dispatch;
+    resume_vcpu = t.tun.vcpu_resume + hw.Cost_model.vmentry;
+    state_transfer = t.tun.process_switch + exit_entry;
+  }
+
 let to_hypervisor t =
   {
     Hypervisor.name = "KVM x86";
@@ -207,5 +227,6 @@ let to_hypervisor t =
     io_latency_out = (fun () -> io_latency_out t);
     io_latency_in = (fun () -> io_latency_in t);
     io_profile = io_profile t;
+    migrate = migrate_profile t;
     guest = t.guest;
   }

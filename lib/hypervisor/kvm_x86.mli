@@ -40,4 +40,6 @@ val io_latency_out : t -> Armvirt_engine.Cycles.t
 val io_latency_in : t -> Armvirt_engine.Cycles.t
 
 val io_profile : t -> Io_profile.t
+val migrate_profile : t -> Migrate_profile.t
+
 val to_hypervisor : t -> Hypervisor.t

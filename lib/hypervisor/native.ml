@@ -18,6 +18,11 @@ let to_hypervisor t =
     | Cost_model.Arm _ -> Hypervisor.Arm
     | Cost_model.X86 _ -> Hypervisor.X86
   in
+  let per_byte_copy =
+    match Machine.cost t.machine with
+    | Cost_model.Arm hw -> hw.Cost_model.per_byte_copy
+    | Cost_model.X86 hw -> hw.Cost_model.per_byte_copy
+  in
   let nothing () = () in
   let no_latency () = Cycles.zero in
   {
@@ -34,5 +39,8 @@ let to_hypervisor t =
     io_latency_out = no_latency;
     io_latency_in = no_latency;
     io_profile = Io_profile.native;
+    (* Bare memcpy lower bound: no faults, no transport, no blackout
+       machinery — just moving the bytes. *)
+    migrate = { Migrate_profile.none with page_copy_per_byte = per_byte_copy };
     guest = Armvirt_guest.Kernel_costs.defaults;
   }

@@ -356,6 +356,28 @@ let make_io_profile t ~zero_copy =
 let io_profile t = make_io_profile t ~zero_copy:false
 let io_profile_zero_copy t = make_io_profile t ~zero_copy:true
 
+(* Live migration, Xen-style: the toolstack in Dom0 drives log-dirty
+   mode and pulls every page through a grant copy, with event-channel
+   batching. Faults trap to the EL2-resident hypervisor cheaply, but the
+   per-page grant machinery makes rounds long — the same trade the I/O
+   path shows (cheap kick, expensive data movement). *)
+let migrate_profile t =
+  let hw, trap_cost, return_cost, switch_cost, _inject = path_costs t in
+  {
+    Migrate_profile.transport = "grant";
+    wp_fault_guest_cpu =
+      trap_cost + hw.Cost_model.stage2_wp_fault + hw.Cost_model.page_map_cost
+      + hw.Cost_model.tlb_local_invalidate + return_cost;
+    harvest_per_page =
+      hw.Cost_model.page_map_cost + hw.Cost_model.tlb_local_invalidate;
+    page_copy_per_byte = hw.Cost_model.per_byte_copy;
+    page_send_per_page = t.tun.grant_copy_fixed;
+    batch_kick = t.tun.evtchn_send + t.tun.dom0_upcall;
+    pause_vcpu = trap_cost + t.tun.sched_pick;
+    resume_vcpu = switch_cost + return_cost;
+    state_transfer = Cost_model.arm_full_save hw + Cost_model.arm_full_restore hw;
+  }
+
 let to_hypervisor t =
   {
     Hypervisor.name = "Xen ARM";
@@ -371,5 +393,6 @@ let to_hypervisor t =
     io_latency_out = (fun () -> io_latency_out t);
     io_latency_in = (fun () -> io_latency_in t);
     io_profile = io_profile t;
+    migrate = migrate_profile t;
     guest = t.guest;
   }

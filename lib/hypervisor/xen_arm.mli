@@ -104,4 +104,6 @@ val io_profile_zero_copy : t -> Io_profile.t
 (** The what-if profile: grant mapping with ARM broadcast TLB
     invalidation instead of copying. Used by the [zerocopy] ablation. *)
 
+val migrate_profile : t -> Migrate_profile.t
+
 val to_hypervisor : t -> Hypervisor.t

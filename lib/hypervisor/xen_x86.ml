@@ -249,6 +249,26 @@ let io_profile t =
     zero_copy = false;
   }
 
+(* Xen x86 migration: log-dirty faults pay the same VMCS transition pair
+   as KVM x86 (fixed-function hardware), but pages reach the toolstack
+   through grant copies and every batch engages Dom0 through an event
+   channel + PV context switch — the heaviest transport of the four. *)
+let migrate_profile t =
+  let hw = X86_ops.hw t.ops in
+  let exit_entry = hw.Cost_model.vmexit + hw.Cost_model.vmentry in
+  {
+    Migrate_profile.transport = "grant";
+    wp_fault_guest_cpu =
+      exit_entry + hw.Cost_model.stage2_wp_fault + hw.Cost_model.page_map_cost;
+    harvest_per_page = hw.Cost_model.page_map_cost;
+    page_copy_per_byte = hw.Cost_model.per_byte_copy;
+    page_send_per_page = t.tun.grant_copy_fixed;
+    batch_kick = t.tun.evtchn_send + t.tun.pv_switch;
+    pause_vcpu = hw.Cost_model.vmexit + (t.tun.sched_switch / 2);
+    resume_vcpu = (t.tun.sched_switch / 2) + hw.Cost_model.vmentry;
+    state_transfer = t.tun.sched_switch + exit_entry;
+  }
+
 let to_hypervisor t =
   {
     Hypervisor.name = "Xen x86";
@@ -264,5 +284,6 @@ let to_hypervisor t =
     io_latency_out = (fun () -> io_latency_out t);
     io_latency_in = (fun () -> io_latency_in t);
     io_profile = io_profile t;
+    migrate = migrate_profile t;
     guest = t.guest;
   }

@@ -58,4 +58,6 @@ val zero_copy_break_even_bytes : t -> cpus:int -> int
     abandoning zero copy on Xen x86. *)
 
 val io_profile : t -> Io_profile.t
+val migrate_profile : t -> Migrate_profile.t
+
 val to_hypervisor : t -> Hypervisor.t

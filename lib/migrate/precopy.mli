@@ -1,0 +1,57 @@
+(** The iterative pre-copy live-migration engine.
+
+    Classic pre-copy (Clark et al.-style), priced through this repo's
+    cost models: round 0 streams all of guest memory over the migration
+    link while the guest keeps running under stage-2 dirty logging
+    ({!Armvirt_mem.Dirty_log}); each later round harvests and re-ships
+    what the guest dirtied meanwhile. After every round the engine
+    projects the blackout a stop-and-copy would take right now; once the
+    projection fits the plan's downtime SLO — or the round cap says the
+    dirty rate has outrun the wire — the VCPUs pause and the residual
+    set, plus VCPU/device state, crosses during the measured downtime.
+
+    The guest meanwhile serves an open-loop request stream whose writes
+    take the write-protect faults, so per-round request latency shows
+    migration's guest-visible cost — the netperf-during-migration
+    measurement, with the fault path priced per hypervisor
+    ({!Armvirt_hypervisor.Migrate_profile}).
+
+    Everything runs in the hypervisor's own simulation; results are
+    deterministic for a given plan and hypervisor. *)
+
+type round = {
+  index : int;  (** 0 is the full-memory copy. *)
+  pages : int;  (** Pages shipped in this round. *)
+  bytes : int;
+  duration_us : float;
+  wp_faults : int;  (** Dirty-logging faults taken while it shipped. *)
+  p99_us : float;
+      (** p99 latency of guest requests completed during this round;
+          [nan] if none completed. *)
+}
+
+type result = {
+  hyp_name : string;
+  transport : string;  (** ["vhost"] or ["grant"]. *)
+  plan : Plan.t;
+  rounds : round list;  (** Pre-copy rounds, in order. *)
+  precopy_rounds : int;
+  total_us : float;  (** Logging start → destination resume complete. *)
+  downtime_us : float;  (** VCPU pause → resume: the blackout. *)
+  final_pages : int;  (** Residual set shipped during the blackout. *)
+  pages_sent : int;  (** All shipped pages, including the blackout. *)
+  pages_resent : int;  (** [pages_sent] beyond the one full copy. *)
+  wp_faults : int;
+  converged : bool;
+      (** True when the downtime SLO projection triggered stop-and-copy;
+          false when the round cap forced it. *)
+  requests : int;  (** Guest requests completed over the whole run. *)
+  baseline_p99_us : float;  (** Pre-migration (warmup) request p99. *)
+  post_p99_us : float;
+      (** p99 over the blackout backlog and post-resume tail. *)
+}
+
+val run : ?plan:Plan.t -> Armvirt_hypervisor.Hypervisor.t -> result
+(** Runs one migration on the hypervisor's machine. Must be called with
+    the hypervisor's simulation idle (it spawns its own processes and
+    calls [Sim.run]). Raises [Invalid_argument] on an invalid plan. *)

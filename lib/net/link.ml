@@ -45,5 +45,31 @@ let send t packet ~deliver =
       t.delivered <- t.delivered + 1;
       deliver packet)
 
+(* Byte-accurate serialization for bulk payloads: one rounding over the
+   whole payload, not one per packet. At 10 GbE a 4 KiB page is ~7,864
+   cycles of wire time; per-packet rounding of a 1,000-page batch would
+   drift by up to 500 cycles — enough to misorder migration rounds. *)
+let serialization_cycles t ~bytes =
+  if bytes < 0 then invalid_arg "Link.serialization_cycles: negative size";
+  Cycles.of_int
+    (int_of_float (Float.round (t.cycles_per_byte *. float_of_int bytes)))
+
+let transfer_time t ~bytes =
+  Cycles.add (serialization_cycles t ~bytes) t.propagation
+
+let send_bulk t ~bytes =
+  let now = Sim.current_time () in
+  let start = Cycles.max now t.wire_free_at in
+  let done_serializing =
+    Cycles.add start (serialization_cycles t ~bytes)
+  in
+  t.wire_free_at <- done_serializing;
+  let arrival = Cycles.add done_serializing t.propagation in
+  t.in_flight <- t.in_flight + 1;
+  Sim.delay (Cycles.sub arrival now);
+  t.in_flight <- t.in_flight - 1;
+  t.delivered <- t.delivered + 1;
+  Cycles.sub arrival now
+
 let in_flight t = t.in_flight
 let delivered t = t.delivered

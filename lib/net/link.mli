@@ -24,5 +24,19 @@ val send : t -> Packet.t -> deliver:(Packet.t -> unit) -> unit
     serialization + propagation, in FIFO order with earlier sends. Must
     run inside a simulation process. *)
 
+val transfer_time : t -> bytes:int -> Armvirt_engine.Cycles.t
+(** Serialization + propagation for a [bytes]-sized payload, rounded
+    once over the whole payload rather than per packet — the
+    byte-accurate figure bulk streaming (migration pre-copy) must use so
+    large page batches don't accumulate per-packet rounding drift.
+    Pure: no wire state is touched. *)
+
+val send_bulk : t -> bytes:int -> Armvirt_engine.Cycles.t
+(** Streams a bulk payload: claims the wire in FIFO order behind any
+    earlier sends, blocks the calling process until the payload has
+    fully arrived at the far end, and returns the observed latency
+    (queueing + serialization + propagation). Must run inside a
+    simulation process. *)
+
 val in_flight : t -> int
 val delivered : t -> int

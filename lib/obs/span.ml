@@ -1,4 +1,5 @@
 type category =
+  | Migrate
   | Trap
   | Vmexit
   | Irq
@@ -8,9 +9,10 @@ type category =
   | Runner
   | Other
 
-let all = [ Trap; Vmexit; Irq; Stage2; Io; Sched; Runner; Other ]
+let all = [ Migrate; Trap; Vmexit; Irq; Stage2; Io; Sched; Runner; Other ]
 
 let category_to_string = function
+  | Migrate -> "migrate"
   | Trap -> "trap"
   | Vmexit -> "vmexit"
   | Irq -> "irq"
@@ -21,6 +23,7 @@ let category_to_string = function
   | Other -> "other"
 
 let category_of_string = function
+  | "migrate" -> Some Migrate
   | "trap" -> Some Trap
   | "vmexit" -> Some Vmexit
   | "irq" -> Some Irq
@@ -44,6 +47,10 @@ let contains haystack needle =
    "kvm_arm.process_switch" lands in [Vmexit]. *)
 let rules =
   [
+    (* Migration labels must win the tie: "migrate.wp_fault" contains
+       "fault" (Stage2's rule) and "migrate.copy" contains "copy" (Io's),
+       but the whole migration vertical belongs in one lane. *)
+    (Migrate, [ "migrate"; "precopy"; "dirty_log"; "stop_and_copy"; "blackout" ]);
     (Vmexit,
      [ "vmexit"; "vmentry"; "vcpu_resume"; "process_switch"; "world_switch";
        "vmswitch"; "eret"; "dom0_upcall" ]);

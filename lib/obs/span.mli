@@ -8,6 +8,11 @@
     axis without re-parsing label strings. *)
 
 type category =
+  | Migrate
+      (** Live migration: dirty logging, pre-copy rounds, blackout.
+          Matched first — migration labels ("migrate.wp_fault",
+          "migrate.copy") would otherwise scatter into the Stage2 and Io
+          lanes. *)
   | Trap  (** Traps/exits into hypervisor emulation (hypercall, MMIO). *)
   | Vmexit  (** Full world switches: save/restore, VM entry/exit. *)
   | Irq  (** Interrupt virtualization: vGIC, IPIs, EOI, timer ticks. *)
@@ -21,8 +26,8 @@ val all : category list
 (** Every category, in rendering order. *)
 
 val category_to_string : category -> string
-(** Lowercase stable names: ["trap"], ["vmexit"], ["irq"], ["stage2"],
-    ["io"], ["sched"], ["runner"], ["other"]. *)
+(** Lowercase stable names: ["migrate"], ["trap"], ["vmexit"], ["irq"],
+    ["stage2"], ["io"], ["sched"], ["runner"], ["other"]. *)
 
 val category_of_string : string -> category option
 

@@ -1,0 +1,68 @@
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Plan = Armvirt_migrate.Plan
+module Precopy = Armvirt_migrate.Precopy
+
+type result = {
+  config : string;
+  transport : string;
+  plan : Plan.t;
+  precopy_rounds : int;
+  rounds : Precopy.round list;
+  total_ms : float;
+  downtime_us : float;
+  downtime_target_us : float;
+  pages_sent : int;
+  pages_resent : int;
+  final_pages : int;
+  wp_faults : int;
+  converged : bool;
+  requests : int;
+  baseline_p99_us : float;
+  worst_round : int;
+  worst_p99_us : float;
+  p99_degradation : float;
+  post_p99_us : float;
+}
+
+let run ?plan (hyp : Hypervisor.t) =
+  let r = Precopy.run ?plan hyp in
+  (* The RR story: which pre-copy round hurt the guest most, and by how
+     much relative to the undisturbed baseline. Round 0 usually wins —
+     the full-memory copy is when every hot page still owes its first
+     fault. *)
+  let worst_round, worst_p99 =
+    List.fold_left
+      (fun ((_, best_p99) as best) (round : Precopy.round) ->
+        if Float.is_nan round.Precopy.p99_us then best
+        else if
+          Float.is_nan best_p99 || round.Precopy.p99_us > best_p99
+        then (round.Precopy.index, round.Precopy.p99_us)
+        else best)
+      (-1, Float.nan) r.Precopy.rounds
+  in
+  let degradation =
+    if Float.is_nan worst_p99 || r.Precopy.baseline_p99_us <= 0.0 then
+      Float.nan
+    else worst_p99 /. r.Precopy.baseline_p99_us
+  in
+  {
+    config = r.Precopy.hyp_name;
+    transport = r.Precopy.transport;
+    plan = r.Precopy.plan;
+    precopy_rounds = r.Precopy.precopy_rounds;
+    rounds = r.Precopy.rounds;
+    total_ms = r.Precopy.total_us /. 1e3;
+    downtime_us = r.Precopy.downtime_us;
+    downtime_target_us = r.Precopy.plan.Plan.downtime_target_us;
+    pages_sent = r.Precopy.pages_sent;
+    pages_resent = r.Precopy.pages_resent;
+    final_pages = r.Precopy.final_pages;
+    wp_faults = r.Precopy.wp_faults;
+    converged = r.Precopy.converged;
+    requests = r.Precopy.requests;
+    baseline_p99_us = r.Precopy.baseline_p99_us;
+    worst_round;
+    worst_p99_us = worst_p99;
+    p99_degradation = degradation;
+    post_p99_us = r.Precopy.post_p99_us;
+  }

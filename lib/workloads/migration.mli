@@ -1,0 +1,35 @@
+(** Live migration under load: the netperf-RR-during-migration benchmark.
+
+    Wraps {!Armvirt_migrate.Precopy} and reduces its per-round latency
+    record to the operator-facing figures: total migration time,
+    downtime against the SLO, pages re-sent, and how far request p99
+    degraded during the worst pre-copy round relative to the
+    pre-migration baseline — the guest-visible cost of dirty logging,
+    which differs per hypervisor by exactly the transition costs of
+    {!Armvirt_hypervisor.Migrate_profile}. *)
+
+type result = {
+  config : string;  (** Hypervisor name. *)
+  transport : string;  (** ["vhost"] or ["grant"]. *)
+  plan : Armvirt_migrate.Plan.t;
+  precopy_rounds : int;
+  rounds : Armvirt_migrate.Precopy.round list;
+  total_ms : float;
+  downtime_us : float;
+  downtime_target_us : float;
+  pages_sent : int;
+  pages_resent : int;
+  final_pages : int;
+  wp_faults : int;
+  converged : bool;
+  requests : int;
+  baseline_p99_us : float;
+  worst_round : int;  (** Pre-copy round with the highest request p99. *)
+  worst_p99_us : float;
+  p99_degradation : float;  (** [worst_p99_us / baseline_p99_us]. *)
+  post_p99_us : float;  (** Blackout backlog + post-resume tail p99. *)
+}
+
+val run :
+  ?plan:Armvirt_migrate.Plan.t -> Armvirt_hypervisor.Hypervisor.t -> result
+(** One migration on the hypervisor's machine, deterministic per plan. *)
