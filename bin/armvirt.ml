@@ -8,7 +8,8 @@
      rr            run the Netperf TCP_RR decomposition on one hypervisor
      trace         run an experiment under the tracer and export the trace
      explore       sweep or calibrate the design space (lib/explore)
-     migrate       live-migrate a loaded VM and report downtime vs the SLO *)
+     migrate       live-migrate a loaded VM and report downtime vs the SLO
+     lint          statically check the determinism invariants (lib/lint) *)
 
 module Platform = Armvirt_core.Platform
 module Experiment = Armvirt_core.Experiment
@@ -899,6 +900,16 @@ let report_cmd =
        ~doc:"Regenerate the paper's tables as a markdown report")
     Term.(const run $ output)
 
+(* --- lint ---------------------------------------------------------------- *)
+
+(* Thin wrapper over the armvirt-lint driver so the checker is
+   discoverable from the main CLI; same flags, same exit codes. *)
+let lint_cmd =
+  let wrap code = if code <> 0 then exit code in
+  Cmd.v
+    (Cmd.info "lint" ~doc:Armvirt_lint.Cli.doc ~man:Armvirt_lint.Cli.man)
+    Term.(const wrap $ Armvirt_lint.Cli.term)
+
 let () =
   let doc =
     "simulation-based reproduction of 'ARM Virtualization: Performance and \
@@ -910,5 +921,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
-            timeline_cmd; explore_cmd; migrate_cmd; report_cmd;
+            timeline_cmd; explore_cmd; migrate_cmd; report_cmd; lint_cmd;
           ]))

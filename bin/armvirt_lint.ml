@@ -1,0 +1,1 @@
+let () = Armvirt_lint.Cli.main ()

@@ -18,6 +18,7 @@ type t = {
 (* Process-wide hook run on every [create], so a tracing session can
    attach to machines it never sees constructed (experiments build their
    machines internally). *)
+(* lint: allow R6 — single process-wide hook slot, set only by Observe *)
 let create_hook : (t -> unit) option ref = ref None
 
 let set_create_hook h = create_hook := h

@@ -34,6 +34,7 @@ let default_jobs () =
       | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* lint: allow R6 — process-wide --jobs override; never read mid-map *)
 let current_jobs = ref None
 
 let set_jobs n =

@@ -50,8 +50,8 @@ let rank ~points ~values =
       in
       List.sort
         (fun a b ->
-          match compare b.span a.span with
-          | 0 -> compare a.axis b.axis
+          match Float.compare b.span a.span with
+          | 0 -> String.compare a.axis b.axis
           | c -> c)
         rankings
   | _ ->

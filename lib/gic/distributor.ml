@@ -86,6 +86,7 @@ let send_sgi t irq ~from ~targets =
 
 let highest_pending t ~cpu =
   check_cpu t cpu;
+  (* lint: sorted — selection by (priority, lowest irq) is a total order *)
   Hashtbl.fold
     (fun (irq, c) st best ->
       let pending = st = Pending || st = Active_pending in
@@ -120,6 +121,7 @@ let end_of_interrupt t irq ~cpu =
 
 let pending_count t ~cpu =
   check_cpu t cpu;
+  (* lint: sorted — pure count, commutative *)
   Hashtbl.fold
     (fun (_, c) st acc ->
       if c = cpu && (st = Pending || st = Active_pending) then acc + 1 else acc)

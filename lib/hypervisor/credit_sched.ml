@@ -71,6 +71,10 @@ let candidates t ~pcpu =
     (fun vcpu s acc ->
       if s.runnable && s.affinity = pcpu then (vcpu, s) :: acc else acc)
     t.vcpus []
+  |> List.sort (fun ((a : vcpu), _) ((b : vcpu), _) ->
+         match Int.compare a.dom b.dom with
+         | 0 -> Int.compare a.index b.index
+         | c -> c)
 
 let better (_, a) (_, b) =
   (* Boosted first; then most credit; FIFO among equals. *)
@@ -105,6 +109,7 @@ let pick t ~pcpu =
    grants, as in Xen's periodic accounting). *)
 let rec refill_if_exhausted t =
   let runnable_with_credit = ref false and any_runnable = ref false in
+  (* lint: sorted — boolean accumulation is order-insensitive *)
   Hashtbl.iter
     (fun _ s ->
       if s.runnable then begin
@@ -114,6 +119,7 @@ let rec refill_if_exhausted t =
     t.vcpus;
   if !any_runnable && not !runnable_with_credit then begin
     t.refill_count <- t.refill_count + 1;
+    (* lint: sorted — uniform credit grant commutes across VCPUs *)
     Hashtbl.iter
       (fun _ s -> s.credit <- s.credit + t.initial_credit)
       t.vcpus;

@@ -1,0 +1,68 @@
+open Cmdliner
+
+let format_arg =
+  let fmt_conv =
+    Arg.enum
+      [ ("text", Report.Text); ("csv", Report.Csv); ("json", Report.Json) ]
+  in
+  Arg.(
+    value & opt fmt_conv Report.Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text), $(b,csv) or $(b,json).")
+
+let root_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:
+          "Repo root to lint. Default: walk up from the current directory \
+           (escaping dune's _build) to the nearest dune-project.")
+
+let rules_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "rules" ] ~docv:"IDS"
+        ~doc:"Only run these rules (comma-separable, repeatable), e.g. R1,R4.")
+
+let skip_rules_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "skip-rules" ] ~docv:"IDS"
+        ~doc:"Run all rules except these (comma-separable, repeatable).")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the report to $(docv); $(b,-) (default) is stdout.")
+
+let run format only skip root out =
+  Driver.run ~format ~only ~skip ?root ?out ()
+
+let term =
+  Term.(
+    const run $ format_arg $ rules_arg $ skip_rules_arg $ root_arg $ out_arg)
+
+let doc =
+  "statically check the simulator's determinism invariants (rules R1-R7)"
+
+let man =
+  [
+    `S Manpage.s_description;
+    `P
+      "Parses every .ml/.mli under lib/, bin/ and bench/ with compiler-libs \
+       and reports violations of the reproducibility invariants: seeded \
+       randomness only (R1), no wall-clock in lib/ (R2), no unsorted \
+       Hashtbl iteration escaping to reports (R3), parallelism only behind \
+       Runner.map (R4), explicit comparators in engine/stats (R5), mutable \
+       top-level state only in the designated registries (R6), and no \
+       direct stdout printing in lib/ (R7).";
+    `P
+      "Exits 0 when clean, 1 on any unsuppressed finding, 2 on usage \
+       errors. Audited sites are marked in-source with (* lint: sorted *), \
+       (* lint: allow R6 reason *) or file-wide (* lint: disable R2 *).";
+  ]
+
+let cmd = Cmd.v (Cmd.info "armvirt-lint" ~version:"1.0.0" ~doc ~man) term
+
+let main () = exit (Cmd.eval' cmd)

@@ -1,0 +1,116 @@
+(* File discovery and orchestration for a whole-repo lint run. Everything
+   here is deterministic: directory listings are sorted, findings are
+   sorted, and output is rendered by Report. *)
+
+let scanned_dirs = [ "lib"; "bin"; "bench" ]
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let skip_dir name = String.length name > 0 && (name.[0] = '_' || name.[0] = '.')
+
+(* Repo-relative paths always use '/', so reports and suppressions are
+   host-independent. *)
+let rec walk dir rel acc =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat dir name in
+      let rel' = if rel = "" then name else rel ^ "/" ^ name in
+      if Sys.is_directory path then
+        if skip_dir name then acc else walk path rel' acc
+      else if is_source name then rel' :: acc
+      else acc)
+    acc entries
+
+let scan_files ~root =
+  List.fold_left
+    (fun acc d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then walk dir d acc
+      else acc)
+    [] scanned_dirs
+  |> List.sort String.compare
+
+(* Locate the repo root from an arbitrary cwd. Inside dune's _build the
+   mirrored tree also carries dune-project, so strip everything from the
+   first _build component first, then walk up to the nearest dune-project. *)
+let find_root () =
+  let cwd = Sys.getcwd () in
+  let parts = String.split_on_char '/' cwd in
+  let rec take = function
+    | [] -> []
+    | "_build" :: _ -> []
+    | p :: rest -> p :: take rest
+  in
+  let stripped = String.concat "/" (take parts) in
+  let start = if stripped = "" then cwd else stripped in
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  match up start with Some d -> d | None -> start
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_tree ?(rules = Rules.all) ~root () =
+  let files = scan_files ~root in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, sup) relpath ->
+        let source = read_file (Filename.concat root relpath) in
+        match Engine.lint_source ~rules ~relpath source with
+        | r -> (r.Engine.findings :: fs, sup + r.Engine.suppressed)
+        | exception Engine.Parse_error msg ->
+            prerr_endline ("armvirt-lint: skipping unparseable " ^ msg);
+            (fs, sup))
+      ([], 0) files
+  in
+  {
+    Report.root;
+    files_scanned = List.length files;
+    findings = List.concat (List.rev findings);
+    suppressed;
+  }
+
+let parse_rule_args specs =
+  List.concat_map (String.split_on_char ',') specs
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun s ->
+         match Rules.of_string s with
+         | Some r -> r
+         | None -> invalid_arg (Printf.sprintf "unknown rule %S" s))
+
+let select_rules ~only ~skip =
+  let only = parse_rule_args only and skip = parse_rule_args skip in
+  let base = if only = [] then Rules.all else only in
+  List.filter (fun r -> not (List.mem r skip)) base
+
+(* Returns the process exit code: 0 clean, 1 findings, 2 usage error. *)
+let run ?(format = Report.Text) ?(only = []) ?(skip = []) ?root ?out () =
+  match select_rules ~only ~skip with
+  | exception Invalid_argument msg ->
+      prerr_endline ("armvirt-lint: " ^ msg);
+      2
+  | rules ->
+      let root = match root with Some r -> r | None -> find_root () in
+      let report = lint_tree ~rules ~root () in
+      let rendered = Report.render format report in
+      (match out with
+      | None | Some "-" ->
+          output_string stdout rendered;
+          flush stdout
+      | Some path ->
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc rendered))
+      ;
+      if report.Report.findings = [] then 0 else 1

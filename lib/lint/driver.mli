@@ -1,0 +1,28 @@
+(** Whole-repo lint runs. *)
+
+val scan_files : root:string -> string list
+(** All [.ml]/[.mli] files under [lib/], [bin/] and [bench/] below [root],
+    as sorted '/'-separated relative paths. [_*] and dot directories are
+    skipped. *)
+
+val find_root : unit -> string
+(** Locate the repo root from the current directory, stripping any
+    [_build] components first (so it works from dune test and rule
+    sandboxes), then walking up to the nearest [dune-project]. *)
+
+val lint_tree : ?rules:Rules.id list -> root:string -> unit -> Report.t
+(** Lint every scanned file under [root]. Unparseable files are reported
+    on stderr and skipped. *)
+
+val run :
+  ?format:Report.format ->
+  ?only:string list ->
+  ?skip:string list ->
+  ?root:string ->
+  ?out:string ->
+  unit ->
+  int
+(** CLI entry point shared by [armvirt-lint] and [armvirt lint]. [only] and
+    [skip] are comma-separable rule-id lists ([--rules]/[--skip-rules]).
+    [out] of [None] or ["-"] writes to stdout. Returns the exit code:
+    0 clean, 1 unsuppressed findings, 2 usage error. *)

@@ -1,0 +1,24 @@
+(** The static-analysis pass over one compilation unit. *)
+
+type finding = {
+  rule : Rules.id;
+  file : string;  (** repo-relative path, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+type result = {
+  findings : finding list;  (** unsuppressed, sorted by (line, col, rule) *)
+  suppressed : int;  (** candidate findings silenced by directives *)
+}
+
+exception Parse_error of string
+
+val compare_finding : finding -> finding -> int
+
+val lint_source : ?rules:Rules.id list -> relpath:string -> string -> result
+(** Parse [source] (an [.ml] or [.mli], chosen by the extension of
+    [relpath]) and run every rule in [rules] (default: all) that
+    {!Rules.applies} to [relpath]. Raises {!Parse_error} on syntax
+    errors. *)

@@ -1,0 +1,102 @@
+type format = Text | Csv | Json
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "csv" -> Some Csv
+  | "json" -> Some Json
+  | _ -> None
+
+type t = {
+  root : string;
+  files_scanned : int;
+  findings : Engine.finding list;
+  suppressed : int;
+}
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_text t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : Engine.finding) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: %s[%s] %s\n  hint: %s\n" f.file f.line
+           f.col
+           (Rules.severity_to_string (Rules.severity f.rule))
+           (Rules.to_string f.rule) f.message (Rules.hint f.rule)))
+    t.findings;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "armvirt-lint: %d files scanned, %d finding%s (%d suppressed)\n"
+       t.files_scanned
+       (List.length t.findings)
+       (if List.length t.findings = 1 then "" else "s")
+       t.suppressed);
+  Buffer.contents buf
+
+let render_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "file,line,col,rule,severity,message\n";
+  List.iter
+    (fun (f : Engine.finding) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%s,%s,%s\n" (escape_csv f.file) f.line f.col
+           (Rules.to_string f.rule)
+           (Rules.severity_to_string (Rules.severity f.rule))
+           (escape_csv f.message)))
+    t.findings;
+  Buffer.contents buf
+
+(* Schema (stable; consumed by CI artifacts and external tooling):
+   { "version": 1, "root": str, "files_scanned": int, "suppressed": int,
+     "findings": [ { "file": str, "line": int, "col": int, "rule": "R1".."R7",
+                     "severity": "error"|"warning", "message": str,
+                     "hint": str } ] }
+   Findings are sorted by (file, line, col, rule); key order is fixed. *)
+let render_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"version\": 1,\n  \"root\": \"%s\",\n  \"files_scanned\": %d,\n\
+       \  \"suppressed\": %d,\n  \"findings\": [" (escape_json t.root)
+       t.files_scanned t.suppressed);
+  List.iteri
+    (fun i (f : Engine.finding) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \
+            \"%s\", \"severity\": \"%s\", \"message\": \"%s\", \"hint\": \
+            \"%s\" }"
+           (escape_json f.file) f.line f.col (Rules.to_string f.rule)
+           (Rules.severity_to_string (Rules.severity f.rule))
+           (escape_json f.message)
+           (escape_json (Rules.hint f.rule))))
+    t.findings;
+  if t.findings <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+let render format t =
+  match format with
+  | Text -> render_text t
+  | Csv -> render_csv t
+  | Json -> render_json t

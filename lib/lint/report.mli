@@ -1,0 +1,16 @@
+(** Rendering of an aggregated lint run. *)
+
+type format = Text | Csv | Json
+
+val format_of_string : string -> format option
+
+type t = {
+  root : string;
+  files_scanned : int;
+  findings : Engine.finding list;  (** sorted by (file, line, col, rule) *)
+  suppressed : int;
+}
+
+val render : format -> t -> string
+(** Deterministic: identical inputs produce byte-identical output. The
+    JSON schema is documented in [report.ml] and in the README. *)

@@ -1,0 +1,86 @@
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+type severity = Error | Warning
+
+let all = [ R1; R2; R3; R4; R5; R6; R7 ]
+
+let to_string = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+
+let of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
+  | _ -> None
+
+let severity = function
+  | R1 | R2 | R3 | R4 -> Error
+  | R5 | R6 | R7 -> Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let summary = function
+  | R1 -> "stdlib Random outside Engine.Rng"
+  | R2 -> "wall-clock or process entropy in lib/"
+  | R3 -> "Hashtbl iteration order may escape unsorted"
+  | R4 -> "Domain spawn/join outside the deterministic runner"
+  | R5 -> "polymorphic compare on float-bearing or functional values"
+  | R6 -> "mutable top-level state outside the designated registries"
+  | R7 -> "direct stdout printing in lib/"
+
+let hint = function
+  | R1 -> "draw through a seeded Engine.Rng stream (Rng.split per consumer)"
+  | R2 ->
+      "simulated time comes from Engine.Cycles/Sim.now; host wall-clock \
+       belongs in bench/ only"
+  | R3 ->
+      "pipe the fold into List.sort with an explicit comparator, or mark an \
+       audited order-insensitive site with (* lint: sorted *)"
+  | R4 -> "route parallelism through Runner.map's deterministic input-order merge"
+  | R5 -> "use Float.compare/Float.equal or a named per-type comparator"
+  | R6 ->
+      "thread state through a record, or register it in lib/obs/metrics.ml; \
+       audited globals take (* lint: allow R6 <reason> *)"
+  | R7 -> "emit through Report/Export/Format.fprintf on a caller-supplied formatter"
+
+(* --- per-rule path scoping ------------------------------------------ *)
+(* Relative paths use '/' separators and are rooted at the repo root. *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* R1: the one module allowed to touch stdlib Random (it seeds splitmix64
+   from an explicit integer; everything else must go through Engine.Rng). *)
+let rng_module = "lib/engine/rng.ml"
+
+(* R4: the one module allowed to spawn/join domains. *)
+let runner_module = "lib/core/runner.ml"
+
+(* R6: designated mutable registries. Metrics is the metric/label registry;
+   Observe is the process-wide tracing session (its globals are documented
+   and mutex-protected). *)
+let registry_modules = [ "lib/obs/metrics.ml"; "lib/core/observe.ml" ]
+
+let applies ~relpath id =
+  match id with
+  | R1 -> relpath <> rng_module
+  | R2 -> starts_with "lib/" relpath
+  | R3 -> starts_with "lib/" relpath || starts_with "bench/" relpath
+  | R4 -> relpath <> runner_module
+  | R5 ->
+      starts_with "lib/engine/" relpath || starts_with "lib/stats/" relpath
+  | R6 ->
+      starts_with "lib/" relpath && not (List.mem relpath registry_modules)
+  | R7 -> starts_with "lib/" relpath

@@ -1,0 +1,38 @@
+(** Rule identities, severities and path scoping for the determinism linter.
+
+    Each rule protects one reproducibility invariant of the simulator:
+    bit-for-bit identical reports, traces and statistics for a given seed,
+    regardless of host, wall-clock or [--jobs] level. *)
+
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7
+
+type severity = Error | Warning
+
+val all : id list
+
+val to_string : id -> string
+
+val of_string : string -> id option
+(** Case-insensitive; returns [None] for unknown ids. *)
+
+val severity : id -> severity
+
+val severity_to_string : severity -> string
+
+val summary : id -> string
+(** One-line description of what the rule forbids. *)
+
+val hint : id -> string
+(** How to fix a finding. *)
+
+val rng_module : string
+(** The only file allowed to use stdlib [Random] (R1 allowlist). *)
+
+val runner_module : string
+(** The only file allowed to use [Domain.spawn]/[Domain.join] (R4). *)
+
+val registry_modules : string list
+(** Files whose top-level mutable state is the designated registry (R6). *)
+
+val applies : relpath:string -> id -> bool
+(** Whether a rule is in scope for a '/'-separated repo-relative path. *)

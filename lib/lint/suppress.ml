@@ -1,0 +1,73 @@
+(* Suppression directives are ordinary comments in the linted source:
+
+     (* lint: sorted *)            audited R3 site (order cannot escape)
+     (* lint: allow R6 reason *)   audited site for any one rule
+     (* lint: disable R2 R7 *)     disable rules for the whole file
+
+   A site directive suppresses findings on its own line and on the line
+   directly below it, so it can sit at the end of the offending line or
+   on its own line above. *)
+
+type directive = { line : int; rules : Rules.id list; file_wide : bool }
+
+type t = directive list
+
+let marker = "(* lint:"
+
+let tokens_of body =
+  String.split_on_char ' ' body
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun s -> s <> "")
+
+let parse_line ~line text =
+  match String.index_opt text '(' with
+  | None -> None
+  | Some _ -> (
+      (* find the marker anywhere in the line *)
+      let mlen = String.length marker in
+      let tlen = String.length text in
+      let rec find i =
+        if i + mlen > tlen then None
+        else if String.sub text i mlen = marker then Some (i + mlen)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some start -> (
+          let rest = String.sub text start (tlen - start) in
+          let body =
+            match String.index_opt rest '*' with
+            | Some stop when stop + 1 < String.length rest && rest.[stop + 1] = ')'
+              ->
+                String.sub rest 0 stop
+            | _ -> rest
+          in
+          match tokens_of body with
+          | "sorted" :: _ -> Some { line; rules = [ Rules.R3 ]; file_wide = false }
+          | ("allow" | "disable") :: ids as all_tokens ->
+              let file_wide = List.hd all_tokens = "disable" in
+              let rules = List.filter_map Rules.of_string ids in
+              if rules = [] then None else Some { line; rules; file_wide }
+          | _ -> None))
+
+let of_source source =
+  let directives = ref [] in
+  let line = ref 0 in
+  String.split_on_char '\n' source
+  |> List.iter (fun text ->
+         incr line;
+         match parse_line ~line:!line text with
+         | Some d -> directives := d :: !directives
+         | None -> ());
+  List.rev !directives
+
+let file_disabled t rule =
+  List.exists (fun d -> d.file_wide && List.mem rule d.rules) t
+
+let allowed t rule ~line =
+  List.exists
+    (fun d ->
+      (not d.file_wide)
+      && List.mem rule d.rules
+      && (d.line = line || d.line = line - 1))
+    t

@@ -1,0 +1,19 @@
+(** Suppression-comment parsing.
+
+    Three directive forms are recognised anywhere in a source line:
+
+    - [(* lint: sorted *)] — marks an audited R3 site whose iteration order
+      provably cannot escape (commutative fold, or sorted downstream).
+    - [(* lint: allow R6 <reason> *)] — marks an audited site for any rule.
+    - [(* lint: disable R2 R7 *)] — disables the listed rules file-wide.
+
+    Site directives apply to their own line and to the line directly
+    below, so they can trail the offending expression or precede it. *)
+
+type t
+
+val of_source : string -> t
+
+val file_disabled : t -> Rules.id -> bool
+
+val allowed : t -> Rules.id -> line:int -> bool

@@ -45,6 +45,7 @@ let start t =
      faults; remember which pages we demoted. *)
   Stage2.iter t.stage2 (fun ~ipa_page ~pa_page:_ perm ->
       if perm = Stage2.Read_write then Hashtbl.replace t.tracked ipa_page ());
+  (* lint: sorted — per-page write-protects are independent, order-free *)
   Hashtbl.iter (fun ipa_page () -> protect t ipa_page) t.tracked
 
 let stop t =
@@ -52,6 +53,7 @@ let stop t =
   t.logging <- false;
   (* Lift only the protection we installed: faulting on ordinary writes
      after the migration completes or aborts would be pure overhead. *)
+  (* lint: sorted — per-page unprotects are independent, order-free *)
   Hashtbl.iter
     (fun ipa_page () ->
       if Stage2.permission t.stage2 ~ipa_page = Some Stage2.Read_only then

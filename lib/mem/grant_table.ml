@@ -75,6 +75,7 @@ let access_of t gref =
 let active_grants t = Hashtbl.length t.entries
 
 let mapped_grants t =
+  (* lint: sorted — pure count, commutative *)
   Hashtbl.fold (fun _ e acc -> if e.mapped then acc + 1 else acc) t.entries 0
 
 let pp_error ppf = function

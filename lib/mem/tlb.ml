@@ -28,10 +28,16 @@ let lookup t ~ipa_page =
 
 let evict_lru t =
   let victim =
+    (* Total order: oldest last_use, ties broken by smallest page, so the
+       victim never depends on hash-bucket layout. *)
+    (* lint: sorted — selection uses a total order, commutative over entries *)
     Hashtbl.fold
       (fun key entry acc ->
         match acc with
-        | Some (_, best) when best.last_use <= entry.last_use -> acc
+        | Some (best_key, best)
+          when best.last_use < entry.last_use
+               || (best.last_use = entry.last_use && best_key < key) ->
+            acc
         | _ -> Some (key, entry))
       t.table None
   in

@@ -5,9 +5,13 @@ type key = { name : string; labels : labels }
 let key ~name ~labels =
   { name; labels = List.stable_sort (fun (a, _) (b, _) -> String.compare a b) labels }
 
+let compare_labels =
+  List.compare (fun (ka, va) (kb, vb) ->
+      match String.compare ka kb with 0 -> String.compare va vb | c -> c)
+
 let compare_key a b =
   match String.compare a.name b.name with
-  | 0 -> Stdlib.compare a.labels b.labels
+  | 0 -> compare_labels a.labels b.labels
   | c -> c
 
 type hist = {
@@ -123,6 +127,7 @@ let merge_into ~dst src =
       in
       d.h_count <- d.h_count + h.h_count;
       d.h_sum <- d.h_sum +. h.h_sum;
+      (* lint: sorted — bucket merge is additive, commutative *)
       Hashtbl.iter
         (fun e n ->
           Hashtbl.replace d.buckets e
@@ -196,6 +201,7 @@ let pp_prometheus ppf t =
   families t.histograms "histogram" (fun name k ->
       let h = Hashtbl.find t.histograms k in
       let max_e =
+        (* lint: sorted — max over keys is commutative *)
         Hashtbl.fold (fun e _ acc -> Stdlib.max e acc) h.buckets 0
       in
       let cumulative = ref 0 in

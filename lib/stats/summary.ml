@@ -46,7 +46,7 @@ let max s = s.sorted.(count s - 1)
 
 let coefficient_of_variation s =
   let m = mean s in
-  if m = 0.0 then 0.0 else stddev s /. m
+  if Float.equal m 0.0 then 0.0 else stddev s /. m
 
 (* Two-tailed Student-t critical values at 95% for df = 1..29; beyond
    that the normal approximation (1.96) is within 0.3%. *)

@@ -1,0 +1,296 @@
+(* Tests for Armvirt_lint: per-rule positive/negative/suppressed fixtures,
+   the JSON report golden, CLI rule selection, and the meta-test that the
+   repo's own lib/, bin/ and bench/ trees are lint-clean. *)
+
+module Rules = Armvirt_lint.Rules
+module Engine = Armvirt_lint.Engine
+module Report = Armvirt_lint.Report
+module Driver = Armvirt_lint.Driver
+
+let lint ?rules ~relpath src = Engine.lint_source ?rules ~relpath src
+
+let rule_ids (r : Engine.result) =
+  List.map (fun (f : Engine.finding) -> Rules.to_string f.rule) r.findings
+
+let check_rules name expected r =
+  Alcotest.(check (list string)) name expected (rule_ids r)
+
+(* --- R1: stdlib Random --------------------------------------------- *)
+
+let test_r1_random () =
+  check_rules "flagged" [ "R1" ]
+    (lint ~relpath:"lib/workloads/x.ml" "let x = Random.int 7");
+  check_rules "deep path flagged" [ "R1" ]
+    (lint ~relpath:"lib/workloads/x.ml" "let s = Random.State.make [| 3 |]");
+  check_rules "module alias flagged" [ "R1" ]
+    (lint ~relpath:"lib/workloads/x.ml" "module R = Random");
+  check_rules "allowlisted in rng.ml" []
+    (lint ~relpath:"lib/engine/rng.ml" "let x = Random.int 7");
+  check_rules "Engine.Rng is fine" []
+    (lint ~relpath:"lib/workloads/x.ml" "let x r = Engine.Rng.int r 7")
+
+(* --- R2: wall clock ------------------------------------------------- *)
+
+let test_r2_wall_clock () =
+  check_rules "gettimeofday flagged" [ "R2" ]
+    (lint ~relpath:"lib/core/x.ml" "let now () = Unix.gettimeofday ()");
+  check_rules "Sys.time flagged" [ "R2" ]
+    (lint ~relpath:"lib/core/x.ml" "let t () = Sys.time ()");
+  (* self_init is both entropy (R2) and stdlib Random (R1) *)
+  check_rules "self_init double-flagged" [ "R1"; "R2" ]
+    (lint ~relpath:"lib/core/x.ml" "let () = Random.self_init ()");
+  check_rules "bench may use wall clock" []
+    (lint ~relpath:"bench/main.ml" "let now () = Unix.gettimeofday ()")
+
+(* --- R3: Hashtbl iteration order ------------------------------------ *)
+
+let test_r3_hashtbl_order () =
+  check_rules "bare iter flagged" [ "R3" ]
+    (lint ~relpath:"lib/io/x.ml" "let dump t f = Hashtbl.iter f t");
+  check_rules "fold into sort accepted" []
+    (lint ~relpath:"lib/io/x.ml"
+       "let keys t =\n\
+       \  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort \
+        Int.compare");
+  check_rules "sort elsewhere in same definition accepted" []
+    (lint ~relpath:"lib/io/x.ml"
+       "let keys t =\n\
+       \  let raw = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in\n\
+       \  List.sort_uniq Int.compare raw");
+  let suppressed =
+    lint ~relpath:"lib/io/x.ml"
+      "let count t =\n\
+       \  (* lint: sorted *)\n\
+       \  Hashtbl.fold (fun _ _ acc -> acc + 1) t 0"
+  in
+  check_rules "audited site suppressed" [] suppressed;
+  Alcotest.(check int) "counted as suppressed" 1 suppressed.Engine.suppressed
+
+(* --- R4: Domain outside the runner ----------------------------------- *)
+
+let test_r4_domain () =
+  check_rules "spawn flagged" [ "R4" ]
+    (lint ~relpath:"lib/explore/x.ml" "let d f = Domain.spawn f");
+  check_rules "join flagged" [ "R4" ]
+    (lint ~relpath:"lib/explore/x.ml" "let j d = Domain.join d");
+  check_rules "runner.ml allowlisted" []
+    (lint ~relpath:"lib/core/runner.ml" "let d f = Domain.spawn f");
+  check_rules "DLS is fine" []
+    (lint ~relpath:"lib/explore/x.ml"
+       "let k = Domain.DLS.new_key (fun () -> 0)")
+
+(* --- R5: polymorphic compare --------------------------------------- *)
+
+let test_r5_poly_compare () =
+  check_rules "bare compare flagged" [ "R5" ]
+    (lint ~relpath:"lib/engine/x.ml" "let c (a : float) b = compare a b");
+  check_rules "Stdlib.compare flagged" [ "R5" ]
+    (lint ~relpath:"lib/stats/x.ml" "let s l = List.sort Stdlib.compare l");
+  check_rules "float-literal equality flagged" [ "R5" ]
+    (lint ~relpath:"lib/stats/x.ml" "let z x = x = 0.0");
+  check_rules "lambda equality flagged" [ "R5" ]
+    (lint ~relpath:"lib/engine/x.ml" "let bad f = f = fun x -> x");
+  check_rules "Float.compare is fine" []
+    (lint ~relpath:"lib/engine/x.ml" "let c a b = Float.compare a b");
+  check_rules "out of scope dirs unflagged" []
+    (lint ~relpath:"lib/mem/x.ml" "let z x = x = 0.0")
+
+(* --- R6: top-level mutable state ------------------------------------ *)
+
+let test_r6_top_level_state () =
+  check_rules "top-level Hashtbl flagged" [ "R6" ]
+    (lint ~relpath:"lib/gic/x.ml" "let cache = Hashtbl.create 16");
+  check_rules "top-level ref flagged" [ "R6" ]
+    (lint ~relpath:"lib/gic/x.ml" "let hits = ref 0");
+  check_rules "constrained ref flagged" [ "R6" ]
+    (lint ~relpath:"lib/gic/x.ml" "let h : int list ref = ref []");
+  check_rules "function allocating per call is fine" []
+    (lint ~relpath:"lib/gic/x.ml" "let create () = Hashtbl.create 16");
+  check_rules "metrics registry allowlisted" []
+    (lint ~relpath:"lib/obs/metrics.ml" "let reg = Hashtbl.create 16");
+  check_rules "audited global suppressed" []
+    (lint ~relpath:"lib/gic/x.ml"
+       "(* lint: allow R6 process-wide hook slot *)\nlet hook = ref None")
+
+(* --- R7: printing from lib/ ------------------------------------------ *)
+
+let test_r7_printing () =
+  check_rules "print_endline flagged" [ "R7" ]
+    (lint ~relpath:"lib/core/x.ml" {|let f () = print_endline "hi"|});
+  check_rules "Printf.printf flagged" [ "R7" ]
+    (lint ~relpath:"lib/core/x.ml" {|let g n = Printf.printf "%d" n|});
+  check_rules "fprintf on a caller formatter is fine" []
+    (lint ~relpath:"lib/core/x.ml" {|let h ppf = Format.fprintf ppf "x"|});
+  check_rules "bin/ may print" []
+    (lint ~relpath:"bin/armvirt.ml" {|let f () = print_endline "hi"|})
+
+(* --- suppression and selection mechanics ----------------------------- *)
+
+let test_file_wide_disable () =
+  check_rules "file-wide disable" []
+    (lint ~relpath:"lib/core/x.ml"
+       "(* lint: disable R7 *)\nlet f () = print_endline \"hi\"");
+  check_rules "disable only silences listed rules" [ "R1" ]
+    (lint ~relpath:"lib/core/x.ml"
+       "(* lint: disable R7 *)\nlet f () = Random.bits ()")
+
+let test_rule_selection () =
+  let src = "let f () = print_endline (string_of_int (Random.bits ()))" in
+  (* same line: ordered by column, print_endline first *)
+  check_rules "all rules" [ "R7"; "R1" ] (lint ~relpath:"lib/core/x.ml" src);
+  check_rules "only R1"
+    [ "R1" ]
+    (lint ~rules:[ Rules.R1 ] ~relpath:"lib/core/x.ml" src);
+  check_rules "only R7"
+    [ "R7" ]
+    (lint ~rules:[ Rules.R7 ] ~relpath:"lib/core/x.ml" src)
+
+let test_findings_sorted () =
+  let r =
+    lint ~relpath:"lib/core/x.ml"
+      "let a () = print_endline \"x\"\n\
+       let b = ref 0\n\
+       let c () = Random.bits ()"
+  in
+  check_rules "sorted by line" [ "R7"; "R6"; "R1" ] r
+
+let test_parse_error () =
+  Alcotest.check_raises "syntax error raises"
+    (Engine.Parse_error "lib/core/x.ml: Syntaxerr.Error(_)")
+    (fun () ->
+      try ignore (lint ~relpath:"lib/core/x.ml" "let let let")
+      with Engine.Parse_error _ ->
+        raise (Engine.Parse_error "lib/core/x.ml: Syntaxerr.Error(_)"))
+
+(* --- report formats -------------------------------------------------- *)
+
+let fixture_report () =
+  let src =
+    "let seed () = Random.int 7\nlet now () = Unix.gettimeofday ()\n"
+  in
+  let r = lint ~relpath:"lib/demo/fixture.ml" src in
+  {
+    Report.root = ".";
+    files_scanned = 1;
+    findings = r.Engine.findings;
+    suppressed = r.Engine.suppressed;
+  }
+
+let golden_json =
+  {|{
+  "version": 1,
+  "root": ".",
+  "files_scanned": 1,
+  "suppressed": 0,
+  "findings": [
+    { "file": "lib/demo/fixture.ml", "line": 1, "col": 14, "rule": "R1", "severity": "error", "message": "use of Random.int: all randomness must flow through seeded Engine.Rng", "hint": "draw through a seeded Engine.Rng stream (Rng.split per consumer)" },
+    { "file": "lib/demo/fixture.ml", "line": 2, "col": 13, "rule": "R2", "severity": "error", "message": "wall-clock/process-entropy call Unix.gettimeofday breaks run-to-run reproducibility", "hint": "simulated time comes from Engine.Cycles/Sim.now; host wall-clock belongs in bench/ only" }
+  ]
+}
+|}
+
+let test_json_golden () =
+  Alcotest.(check string)
+    "json golden" golden_json
+    (Report.render Report.Json (fixture_report ()))
+
+let test_csv_and_text () =
+  let report = fixture_report () in
+  let csv = Report.render Report.Csv report in
+  Alcotest.(check bool)
+    "csv header" true
+    (String.length csv > 0
+    && String.sub csv 0 37 = "file,line,col,rule,severity,message\n\
+                              l");
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check int) "csv rows" 4 (List.length lines);
+  (* header + 2 findings + trailing newline *)
+  let text = Report.render Report.Text report in
+  Alcotest.(check bool)
+    "text mentions both rules" true
+    (let has s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     has text "[R1]" && has text "[R2]" && has text "2 findings")
+
+let test_render_deterministic () =
+  let a = Report.render Report.Json (fixture_report ()) in
+  let b = Report.render Report.Json (fixture_report ()) in
+  Alcotest.(check string) "byte-identical" a b
+
+(* --- the meta-test: this repo is lint-clean -------------------------- *)
+
+let test_repo_is_lint_clean () =
+  let root = Driver.find_root () in
+  let files = Driver.scan_files ~root in
+  Alcotest.(check bool)
+    (Printf.sprintf "scans a real tree (%d files)" (List.length files))
+    true
+    (List.length files > 100);
+  let report = Driver.lint_tree ~root () in
+  List.iter
+    (fun (f : Engine.finding) ->
+      Printf.eprintf "unexpected finding: %s:%d [%s] %s\n%!" f.file f.line
+        (Rules.to_string f.rule) f.message)
+    report.Report.findings;
+  Alcotest.(check int) "zero unsuppressed findings" 0
+    (List.length report.Report.findings);
+  Alcotest.(check bool)
+    "audited sites are marked, not silently dropped" true
+    (report.Report.suppressed > 0)
+
+let test_repo_gate_catches_injection () =
+  (* The invariant CI relies on: were a forbidden call introduced in a
+     scanned module, the same pass that is clean today would fail. *)
+  let root = Driver.find_root () in
+  let clean = Driver.lint_tree ~root () in
+  let seeded =
+    Engine.lint_source ~relpath:"lib/hypervisor/kvm_arm.ml"
+      "let jitter () = Random.int 100\nlet d f = Domain.spawn f"
+  in
+  Alcotest.(check (list string))
+    "injected violations caught" [ "R1"; "R4" ]
+    (rule_ids seeded);
+  Alcotest.(check int) "today's tree stays the baseline" 0
+    (List.length clean.Report.findings)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 random" `Quick test_r1_random;
+          Alcotest.test_case "R2 wall clock" `Quick test_r2_wall_clock;
+          Alcotest.test_case "R3 hashtbl order" `Quick test_r3_hashtbl_order;
+          Alcotest.test_case "R4 domain" `Quick test_r4_domain;
+          Alcotest.test_case "R5 poly compare" `Quick test_r5_poly_compare;
+          Alcotest.test_case "R6 top-level state" `Quick
+            test_r6_top_level_state;
+          Alcotest.test_case "R7 printing" `Quick test_r7_printing;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "file-wide disable" `Quick test_file_wide_disable;
+          Alcotest.test_case "rule selection" `Quick test_rule_selection;
+          Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json golden" `Quick test_json_golden;
+          Alcotest.test_case "csv and text" `Quick test_csv_and_text;
+          Alcotest.test_case "render deterministic" `Quick
+            test_render_deterministic;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "repo is lint-clean" `Quick
+            test_repo_is_lint_clean;
+          Alcotest.test_case "gate catches injected violations" `Quick
+            test_repo_gate_catches_injection;
+        ] );
+    ]

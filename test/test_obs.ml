@@ -225,6 +225,30 @@ let test_prometheus_label_order_irrelevant () =
     (Format.asprintf "%a" Metrics.pp_prometheus (sample_registry ()))
     (Format.asprintf "%a" Metrics.pp_prometheus flipped)
 
+let test_label_value_order_canonical () =
+  (* Regression for the explicit per-pair label comparator: families with
+     several label values render in value order, whatever the insertion
+     order was. *)
+  let render m = Format.asprintf "%a" Metrics.pp_prometheus m in
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a ~labels:[ ("k", "beta") ] "x_total";
+  Metrics.incr a ~labels:[ ("k", "alpha") ] "x_total";
+  Metrics.incr b ~labels:[ ("k", "alpha") ] "x_total";
+  Metrics.incr b ~labels:[ ("k", "beta") ] "x_total";
+  Alcotest.(check string) "insertion order invisible" (render a) (render b);
+  let rendered = render a in
+  Alcotest.(check bool) "alpha renders before beta" true
+    (let find sub =
+       let n = String.length sub in
+       let rec go i =
+         if i + n > String.length rendered then -1
+         else if String.sub rendered i n = sub then i
+         else go (i + 1)
+       in
+       go 0
+     in
+     find {|"alpha"|} < find {|"beta"|} && find {|"alpha"|} >= 0)
+
 let test_json_snapshot_golden () =
   let m = Metrics.create () in
   Metrics.incr m ~by:3 ~labels:[ ("k", "v") ] "c";
@@ -464,6 +488,8 @@ let () =
           Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
           Alcotest.test_case "label order irrelevant" `Quick
             test_prometheus_label_order_irrelevant;
+          Alcotest.test_case "label value order canonical" `Quick
+            test_label_value_order_canonical;
           Alcotest.test_case "json golden" `Quick test_json_snapshot_golden;
         ] );
       ( "export",

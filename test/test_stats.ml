@@ -27,6 +27,16 @@ let test_summary_singleton () =
   Alcotest.(check (float 1e-9)) "stddev zero" 0.0 (Summary.stddev s);
   Alcotest.(check (float 1e-9)) "p99 = value" 5.0 (Summary.percentile s 99.0)
 
+let test_summary_cv () =
+  (* Regression for the explicit Float.equal zero-mean guard. *)
+  let z = Summary.of_list [ -1.0; 1.0 ] in
+  Alcotest.(check (float 1e-9)) "zero-mean guard" 0.0
+    (Summary.coefficient_of_variation z);
+  let s = Summary.of_list [ 2.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "cv = stddev/mean"
+    (Summary.stddev s /. 3.0)
+    (Summary.coefficient_of_variation s)
+
 let test_summary_percentiles () =
   let s = Summary.of_list (List.init 101 float_of_int) in
   Alcotest.(check (float 1e-6)) "p0" 0.0 (Summary.percentile s 0.0);
@@ -248,6 +258,8 @@ let () =
           Alcotest.test_case "empty rejected" `Quick test_summary_empty_rejected;
           Alcotest.test_case "singleton" `Quick test_summary_singleton;
           Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
+          Alcotest.test_case "coefficient of variation" `Quick
+            test_summary_cv;
           Alcotest.test_case "stddev" `Quick test_summary_stddev;
           Alcotest.test_case "ci95 Student-t for small n" `Quick
             test_summary_ci95_student_t;
