@@ -1,0 +1,347 @@
+(* Events/sec benchmark campaign (ROADMAP open item 1).
+
+   The simulator's raw throughput — events executed per host second — is
+   the product metric every subsystem multiplies: fleets, explore sweeps
+   and migration rounds are all event counts through Engine.Sim. This
+   module measures it two ways:
+
+   - engine microbenchmarks: synthetic mixes that isolate one hot path
+     each (raw heap churn, Delay self-rescheduling, Suspend/wake parking,
+     Resource contention, Mailbox hand-off);
+   - whole workloads: the netperf TCP_RR and live-migration experiments,
+     counting every event their machines schedule.
+
+   Results are emitted as the versioned [BENCH_events.json] committed at
+   the repo root so the trajectory is tracked PR-over-PR. Event *counts*
+   are deterministic (the engine is); only wall-clock seconds vary from
+   host to host, which is why the baseline this PR is measured against is
+   recorded in the same file rather than recomputed.
+
+   Wall-clock timing is deliberate and allowed here: bench/ is outside
+   the determinism linter's R2 scope (lib/ only). *)
+
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Heap = Armvirt_engine.Heap
+module Platform = Armvirt_core.Platform
+module Machine = Armvirt_arch.Machine
+module Hypervisor = Armvirt_hypervisor.Hypervisor
+module W = Armvirt_workloads
+
+type kind = Engine_micro | Workload
+
+let kind_to_string = function
+  | Engine_micro -> "engine-micro"
+  | Workload -> "workload"
+
+type result = {
+  name : string;
+  kind : kind;
+  events : int;  (** deterministic: same on every host *)
+  wall_s : float;
+  events_per_sec : float;
+  baseline_events_per_sec : float option;
+      (** pre-PR engine on the reference host, from {!baseline_v1} *)
+  speedup : float option;
+}
+
+(* [scale <= 0] is the CI smoke setting: same benches, ~50x fewer
+   iterations, so the suite runs in well under a second. *)
+let iters ~scale base = if scale <= 0 then max 1 (base / 50) else base * scale
+
+(* Best-of-K: each benchmark runs [trials] times and reports its fastest
+   run. Host scheduling noise only ever slows a run down, so the max is
+   the least-noisy throughput estimate (the baseline constants below
+   were measured the same way). CI smoke keeps a single trial. *)
+let trials ~scale = if scale <= 0 then 1 else 3
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let finish ~name ~kind ~events wall_s =
+  {
+    name;
+    kind;
+    events;
+    wall_s;
+    events_per_sec = float_of_int events /. wall_s;
+    baseline_events_per_sec = None;
+    speedup = None;
+  }
+
+(* Build the whole scenario first, then time only [Sim.run]: setup cost
+   (process spawning closures, mailbox records) is not event throughput. *)
+let timed_run ~name sim =
+  let before = Sim.events_processed sim in
+  let (), wall_s = wall (fun () -> Sim.run sim) in
+  finish ~name ~kind:Engine_micro ~events:(Sim.events_processed sim - before)
+    wall_s
+
+(* --- engine microbenchmarks ----------------------------------------- *)
+
+(* Raw heap push/pop at a steady depth of 4096 pending events: the sift
+   paths and the per-push allocation story, nothing else. Ops counted
+   manually (one push + one pop = 2 events' worth of heap work). *)
+let bench_heap_churn ~scale () =
+  let ops = iters ~scale 400_000 in
+  let depth = 4096 in
+  let h = Heap.create () in
+  for i = 0 to depth - 1 do
+    Heap.push h ~time:(i * 7 land 1023) ~seq:i ()
+  done;
+  let seq = ref depth in
+  let (), wall_s =
+    wall (fun () ->
+        (* min_time + pop_min is the engine's own pop sequence. *)
+        for i = 1 to ops do
+          let t = Heap.min_time h in
+          ignore (Heap.pop_min h);
+          Heap.push h ~time:(t + (i land 255)) ~seq:!seq ();
+          incr seq
+        done)
+  in
+  finish ~name:"heap-churn" ~kind:Engine_micro ~events:(2 * ops) wall_s
+
+(* Empty-event churn: 512 processes, each a chain of short delays. Every
+   event is a Delay expiry that does nothing but reschedule — the
+   purest events/sec number the effect-handler engine can produce. *)
+let bench_delay_churn ~scale () =
+  let rounds = iters ~scale 1_500 in
+  let procs = 512 in
+  let sim = Sim.create () in
+  for p = 0 to procs - 1 do
+    Sim.spawn sim (fun () ->
+        for i = 1 to rounds do
+          Sim.delay (Cycles.of_int ((p + i) land 63))
+        done)
+  done;
+  timed_run ~name:"delay-churn" sim
+
+(* Park/wake storm: 2048 processes blocked in Signal.wait, broadcast
+   awake each round. Exercises the blocked-process bookkeeping — the
+   path that was O(parked) per wake before this PR's pid-keyed table. *)
+let bench_suspend_wake ~scale () =
+  let rounds = iters ~scale 40 in
+  let waiters = 2048 in
+  let sim = Sim.create () in
+  let s = Sim.Signal.create sim in
+  for w = 0 to waiters - 1 do
+    Sim.spawn sim
+      ~name:(Printf.sprintf "waiter-%04d" w)
+      (fun () ->
+        for _ = 1 to rounds do
+          Sim.Signal.wait s
+        done)
+  done;
+  Sim.spawn sim ~name:"waker" (fun () ->
+      for _ = 1 to rounds do
+        Sim.delay Cycles.one;
+        Sim.Signal.notify s
+      done);
+  timed_run ~name:"suspend-wake" sim
+
+(* FIFO semaphore contention: 256 processes sharing a capacity-4
+   resource. Every acquire parks, every release wakes the next waiter. *)
+let bench_resource ~scale () =
+  let rounds = iters ~scale 250 in
+  let procs = 256 in
+  let sim = Sim.create () in
+  let r = Sim.Resource.create sim ~capacity:4 in
+  for p = 0 to procs - 1 do
+    Sim.spawn sim
+      ~name:(Printf.sprintf "user-%03d" p)
+      (fun () ->
+        for _ = 1 to rounds do
+          Sim.Resource.use r Cycles.one
+        done)
+  done;
+  timed_run ~name:"resource-contend" sim
+
+(* Mailbox ping-pong across 8 producer/consumer pairs. The consumer
+   parks between messages, so sends alternate between the queued path
+   and the direct-handoff path. *)
+let bench_mailbox ~scale () =
+  let msgs = iters ~scale 60_000 in
+  let pairs = 8 in
+  let sim = Sim.create () in
+  for p = 0 to pairs - 1 do
+    let mb = Sim.Mailbox.create ~name:(Printf.sprintf "mb-%d" p) sim in
+    Sim.spawn sim
+      ~name:(Printf.sprintf "producer-%d" p)
+      (fun () ->
+        for i = 1 to msgs do
+          Sim.Mailbox.send mb i;
+          if i land 3 = 0 then Sim.delay Cycles.one
+        done);
+    Sim.spawn sim
+      ~name:(Printf.sprintf "consumer-%d" p)
+      (fun () ->
+        for _ = 1 to msgs do
+          ignore (Sim.Mailbox.recv mb)
+        done)
+  done;
+  timed_run ~name:"mailbox-pingpong" sim
+
+(* --- whole workloads ------------------------------------------------ *)
+
+(* Netperf TCP_RR on KVM ARM: the paper's latency workload, measured as
+   engine events per host second (packet hops, trap sequences, timer
+   events — everything the machine schedules). *)
+(* Workload runs are short next to the microbenchmarks, so they repeat
+   on a fresh machine each iteration; only the runs themselves are
+   timed (machine construction is not event throughput). *)
+let repeat_workload ~name ~repeats run_once =
+  let events = ref 0 and wall_acc = ref 0.0 in
+  for _ = 1 to repeats do
+    let hyp = Platform.hypervisor Platform.Arm_m400 Platform.Kvm in
+    let sim = Machine.sim hyp.Hypervisor.machine in
+    let before = Sim.events_processed sim in
+    let (), w = wall (fun () -> run_once hyp) in
+    events := !events + (Sim.events_processed sim - before);
+    wall_acc := !wall_acc +. w
+  done;
+  finish ~name ~kind:Workload ~events:!events !wall_acc
+
+let bench_netperf ~scale () =
+  let transactions = if scale <= 0 then 40 else 2_000 * scale in
+  let repeats = if scale <= 0 then 1 else 4 in
+  repeat_workload ~name:"netperf-rr" ~repeats (fun hyp ->
+      ignore (W.Netperf.run_tcp_rr ~transactions hyp))
+
+(* Live migration on KVM ARM: pre-copy rounds under request load, the
+   heaviest event mix in the repo (DMA dirtying + VCPU service + page
+   shipping over the link). *)
+let bench_migrate ~scale () =
+  let plan =
+    let d = Armvirt_migrate.Plan.default in
+    if scale <= 0 then { d with Armvirt_migrate.Plan.max_rounds = 3 } else d
+  in
+  let repeats = if scale <= 0 then 1 else 12 * scale in
+  repeat_workload ~name:"migrate-precopy" ~repeats (fun hyp ->
+      ignore (W.Migration.run ~plan hyp))
+
+(* --- baseline ------------------------------------------------------- *)
+
+(* Pre-PR engine (record-entry heap, list-scan blocked set, Queue/list
+   waiter queues) measured on the reference container at scale 1 with
+   this same best-of-3 harness — the pre-PR engine with only the events
+   counter added, nothing else changed. Recorded here — not recomputed —
+   so the committed BENCH_events.json carries its own comparison point;
+   on a different host, compare runs of the two engines locally instead
+   of trusting absolute numbers. *)
+let baseline_v1 : (string * float) list =
+  [
+    ("heap-churn", 5_555_204.);
+    ("delay-churn", 3_209_933.);
+    ("suspend-wake", 136_439.);
+    ("resource-contend", 1_046_929.);
+    ("mailbox-pingpong", 5_448_273.);
+    ("netperf-rr", 3_844_713.);
+    ("migrate-precopy", 498_357.);
+  ]
+
+let attach_baseline r =
+  match List.assoc_opt r.name baseline_v1 with
+  | None -> r
+  | Some b ->
+      {
+        r with
+        baseline_events_per_sec = Some b;
+        speedup = Some (r.events_per_sec /. b);
+      }
+
+(* --- suite ---------------------------------------------------------- *)
+
+let best_of ~trials bench =
+  let best = ref (bench ()) in
+  for _ = 2 to trials do
+    let r = bench () in
+    if r.events_per_sec > !best.events_per_sec then best := r
+  done;
+  !best
+
+let suite ~scale () =
+  let trials = trials ~scale in
+  List.map
+    (fun bench -> attach_baseline (best_of ~trials (fun () -> bench ~scale ())))
+    [
+      bench_heap_churn;
+      bench_delay_churn;
+      bench_suspend_wake;
+      bench_resource;
+      bench_mailbox;
+      bench_netperf;
+      bench_migrate;
+    ]
+
+let geomean = function
+  | [] -> None
+  | xs ->
+      Some
+        (exp
+           (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+           /. float_of_int (List.length xs)))
+
+let micro_geomean_speedup results =
+  geomean
+    (List.filter_map
+       (fun r -> if r.kind = Engine_micro then r.speedup else None)
+       results)
+
+(* --- output --------------------------------------------------------- *)
+
+let pp_table ppf results =
+  Format.fprintf ppf
+    "Events/sec: engine microbenchmarks and whole-workload throughput@.";
+  Format.fprintf ppf "  %-18s %-13s %10s %9s %14s %9s@." "benchmark" "kind"
+    "events" "wall s" "events/sec" "speedup";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-18s %-13s %10d %9.3f %14.0f %9s@." r.name
+        (kind_to_string r.kind) r.events r.wall_s r.events_per_sec
+        (match r.speedup with
+        | Some s -> Printf.sprintf "%.2fx" s
+        | None -> "-"))
+    results;
+  (match micro_geomean_speedup results with
+  | Some g ->
+      Format.fprintf ppf "  engine-micro geomean speedup vs pre-PR: %.2fx@." g
+  | None -> ())
+
+(* BENCH_events.json, schema v1. Hand-rolled emitter: the repo carries no
+   JSON dependency, and the format below is the schema's one source of
+   truth (mirrored in README and validated by CI + test_engine). *)
+let emit_json ppf ~scale results =
+  let opt_float = function
+    | Some v -> Printf.sprintf "%.1f" v
+    | None -> "null"
+  in
+  let opt_ratio = function
+    | Some v -> Printf.sprintf "%.3f" v
+    | None -> "null"
+  in
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf "  \"schema\": \"armvirt.bench-events/v1\",@.";
+  Format.fprintf ppf "  \"scale\": %d,@." scale;
+  Format.fprintf ppf
+    "  \"baseline\": \"pre-PR6 engine (record-entry heap, list-scan \
+     blocked set), reference container, scale 1\",@.";
+  Format.fprintf ppf "  \"results\": [@.";
+  let n = List.length results in
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf
+        "    {\"name\": %S, \"kind\": %S, \"events\": %d, \"wall_s\": %.6f, \
+         \"events_per_sec\": %.1f, \"baseline_events_per_sec\": %s, \
+         \"speedup\": %s}%s@."
+        r.name (kind_to_string r.kind) r.events r.wall_s r.events_per_sec
+        (opt_float r.baseline_events_per_sec)
+        (opt_ratio r.speedup)
+        (if i = n - 1 then "" else ","))
+    results;
+  Format.fprintf ppf "  ],@.";
+  Format.fprintf ppf "  \"engine_micro_geomean_speedup\": %s@."
+    (opt_ratio (micro_geomean_speedup results));
+  Format.fprintf ppf "}@."

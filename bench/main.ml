@@ -9,7 +9,8 @@
                       isolation guestops crosscall vapic twodwalk multiqueue
                       lazyswitch consolidation tracereplay structural
                       fig4chart
-     also:            bechamel, runner, explore, migrate, all (default) *)
+     also:            bechamel, runner, explore, migrate, events,
+                      all (default) *)
 
 module Experiment = Armvirt_core.Experiment
 module Report = Armvirt_core.Report
@@ -166,6 +167,11 @@ let run_migrate_bench () =
       Format.fprintf ppf "@.")
     results
 
+(* Raw engine throughput: the events/sec campaign (ROADMAP item 1).
+   Same suite as `armvirt bench-events`, human-readable table here. *)
+let run_events_bench () =
+  Armvirt_bench_events.Bench_events.(pp_table ppf (suite ~scale:1 ()))
+
 (* Bechamel: how fast the simulator itself regenerates each artifact.
    Every staged run clears the cross-artifact memo table first, so
    iterations measure regeneration, not cache hits. *)
@@ -270,10 +276,11 @@ let run_one name =
       else if name = "runner" then run_runner_bench ()
       else if name = "explore" then run_explore_bench ()
       else if name = "migrate" then run_migrate_bench ()
+      else if name = "events" then run_events_bench ()
       else begin
         Format.fprintf ppf
           "unknown experiment %S; available: %s bechamel runner explore \
-           migrate all@."
+           migrate events all@."
           name
           (String.concat " " (List.map fst experiments));
         exit 1
@@ -287,5 +294,6 @@ let () =
       run_bechamel ();
       run_runner_bench ();
       run_explore_bench ();
-      run_migrate_bench ()
+      run_migrate_bench ();
+      run_events_bench ()
   | names -> List.iter run_one names

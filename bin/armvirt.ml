@@ -9,6 +9,7 @@
      trace         run an experiment under the tracer and export the trace
      explore       sweep or calibrate the design space (lib/explore)
      migrate       live-migrate a loaded VM and report downtime vs the SLO
+     bench-events  measure raw engine events/sec and emit BENCH_events.json
      lint          statically check the determinism invariants (lib/lint) *)
 
 module Platform = Armvirt_core.Platform
@@ -875,6 +876,51 @@ let migrate_cmd =
       $ rate $ bandwidth $ rounds $ downtime $ seed $ compare $ detail
       $ format_arg $ out_arg $ jobs_arg $ trace_file_arg)
 
+(* --- bench-events ---------------------------------------------------------- *)
+
+module Bench_events = Armvirt_bench_events.Bench_events
+
+let bench_events_cmd =
+  let scale_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "scale" ] ~docv:"N"
+          ~doc:
+            "Iteration multiplier for every benchmark. $(b,0) is the CI \
+             smoke setting (~50x fewer iterations); larger values reduce \
+             timing noise proportionally. Event counts are deterministic \
+             at any fixed scale.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the results as BENCH_events.json schema v1 to \
+             $(docv); $(b,-) writes the JSON to stdout instead of the \
+             table.")
+  in
+  let run scale out =
+    let results = Bench_events.suite ~scale () in
+    match out with
+    | Some "-" -> Bench_events.emit_json Format.std_formatter ~scale results
+    | Some path ->
+        Bench_events.pp_table ppf results;
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        Bench_events.emit_json fmt ~scale results;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path
+    | None -> Bench_events.pp_table ppf results
+  in
+  Cmd.v
+    (Cmd.info "bench-events"
+       ~doc:
+         "Measure raw engine throughput (events/sec): microbenchmark \
+          mixes plus whole-workload netperf and migration runs")
+    Term.(const run $ scale_arg $ out_arg)
+
 (* --- report ---------------------------------------------------------------- *)
 
 let report_cmd =
@@ -921,5 +967,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
-            timeline_cmd; explore_cmd; migrate_cmd; report_cmd; lint_cmd;
+            timeline_cmd; explore_cmd; migrate_cmd; bench_events_cmd;
+            report_cmd; lint_cmd;
           ]))

@@ -1,0 +1,55 @@
+(* Array-backed growable FIFO for the engine's waiter and message
+   queues.
+
+   [Stdlib.Queue] allocates a cons-like cell per element; the
+   synchronization primitives (Mailbox queues and takers, Resource
+   waiters, Signal waiters) push and pop on every operation, so those
+   cells are pure hot-path garbage. This ring buffer reaches a steady
+   state where push/pop allocate nothing, and — same discipline as
+   {!Heap} — clears each vacated slot so a popped element is collectable
+   immediately.
+
+   Capacity is a power of two; [head] only grows (indices are masked),
+   which keeps wraparound branch-free. Accesses use unsafe array ops:
+   every index is [(head + i) land mask] with [i < length], in-bounds by
+   construction. *)
+
+type 'a t = {
+  mutable buf : 'a array;
+  mutable head : int; (* absolute index of the oldest element *)
+  mutable length : int;
+}
+
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic ()
+
+let create () = { buf = [||]; head = 0; length = 0 }
+
+let length q = q.length
+let is_empty q = q.length = 0
+
+let grow q =
+  let cap = Array.length q.buf in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let buf' = Array.make cap' (dummy ()) in
+  let mask = cap - 1 in
+  for i = 0 to q.length - 1 do
+    Array.unsafe_set buf' i (Array.unsafe_get q.buf ((q.head + i) land mask))
+  done;
+  q.buf <- buf';
+  q.head <- 0
+
+let push q v =
+  if q.length = Array.length q.buf then grow q;
+  let mask = Array.length q.buf - 1 in
+  Array.unsafe_set q.buf ((q.head + q.length) land mask) v;
+  q.length <- q.length + 1
+
+let pop q =
+  if q.length = 0 then invalid_arg "Fifo.pop: empty";
+  let mask = Array.length q.buf - 1 in
+  let i = q.head land mask in
+  let v = Array.unsafe_get q.buf i in
+  Array.unsafe_set q.buf i (dummy ());
+  q.head <- q.head + 1;
+  q.length <- q.length - 1;
+  v

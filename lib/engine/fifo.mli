@@ -1,0 +1,15 @@
+(** Array-backed growable FIFO: allocation-free push/pop at steady
+    state, vacated slots cleared so popped elements are collectable
+    immediately. Backs the engine's waiter and message queues. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the oldest element.
+    @raise Invalid_argument on an empty queue. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

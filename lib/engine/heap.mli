@@ -2,7 +2,12 @@
 
     The secondary sequence key makes event ordering deterministic: two
     events scheduled for the same cycle pop in scheduling order, so every
-    simulation run is exactly reproducible. *)
+    simulation run is exactly reproducible.
+
+    Internally a structure of arrays: keys live in unboxed [int] arrays,
+    payloads in a separate array whose slots are cleared as elements
+    leave the heap, so {!push} allocates nothing and a popped payload is
+    collectable immediately. *)
 
 type 'a t
 
@@ -10,8 +15,19 @@ val create : unit -> 'a t
 
 val push : 'a t -> time:int -> seq:int -> 'a -> unit
 
+val min_time : 'a t -> int
+(** Time key of the minimum element, without allocating.
+    @raise Invalid_argument on an empty heap. *)
+
+val pop_min : 'a t -> 'a
+(** Removes the minimum element and returns its payload, without
+    allocating — the simulation engine's hot path ({!min_time} first for
+    the clock, then [pop_min] for the action).
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> (int * int * 'a) option
-(** Removes and returns the minimum element, or [None] if empty. *)
+(** Removes and returns the minimum element, or [None] if empty.
+    Allocating convenience wrapper over {!min_time}/{!pop_min}. *)
 
 val peek : 'a t -> (int * int * 'a) option
 val size : 'a t -> int

@@ -6,13 +6,29 @@ type observer = {
   on_queue_depth : mailbox:string -> at:int -> depth:int -> unit;
 }
 
+(* A pending event. Delay expiries and wake-ups — the dominant events by
+   far — store their continuation (and resume value) directly in one
+   small block instead of a wrapper closure; everything else stays a
+   thunk. *)
+type event =
+  | Run of (unit -> unit)
+  | Resume : ('a, unit) Effect.Deep.continuation * 'a -> event
+
 type t = {
   mutable now : int;
   mutable seq : int;
-  events : (unit -> unit) Heap.t;
-  mutable blocked : (int * string) list;
-      (* processes parked in [suspend]: (id, name), for deadlock reports *)
+  events : event Heap.t;
+  mutable blocked_names : string array;
+      (* pid-indexed; valid only where [is_blocked.(pid)]. Flat arrays
+         make park/wake O(1) and allocation-free (the wake path used to
+         List.filter a list — O(parked) per wake, quadratic across a
+         fleet of parked processes). Names are only read at
+         deadlock-report time, sorted there for determinism. *)
+  mutable is_blocked : bool array;
+  mutable blocked_count : int;
   mutable next_pid : int;
+  mutable processed : int;
+      (* events executed so far: the engine's raw-throughput numerator *)
   mutable observer : observer option;
       (* [None] keeps every scheduling path allocation-free *)
 }
@@ -31,20 +47,26 @@ let create () =
     now = 0;
     seq = 0;
     events = Heap.create ();
-    blocked = [];
+    blocked_names = [||];
+    is_blocked = [||];
+    blocked_count = 0;
     next_pid = 0;
+    processed = 0;
     observer = None;
   }
 
 let set_observer t obs = t.observer <- obs
 
 let now t = Cycles.of_int t.now
+let events_processed t = t.processed
 
-let schedule t ~at action =
+let schedule_event t ~at ev =
   assert (at >= t.now);
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.events ~time:at ~seq action
+  Heap.push t.events ~time:at ~seq ev
+
+let schedule t ~at action = schedule_event t ~at (Run action)
 
 (* Each process runs under one deep handler. Delay re-queues the
    continuation; Suspend parks it behind a user-controlled wake function
@@ -53,6 +75,14 @@ let schedule t ~at action =
 let rec start t name f =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
+  if pid >= Array.length t.is_blocked then begin
+    let cap = max 16 (2 * Array.length t.is_blocked) in
+    let names = Array.make cap "" and flags = Array.make cap false in
+    Array.blit t.blocked_names 0 names 0 pid;
+    Array.blit t.is_blocked 0 flags 0 pid;
+    t.blocked_names <- names;
+    t.is_blocked <- flags
+  end;
   let pname =
     match name with Some n -> n | None -> Printf.sprintf "process-%d" pid
   in
@@ -70,7 +100,7 @@ let rec start t name f =
           | Delay c ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  schedule t ~at:(t.now + c) (fun () -> continue k ()))
+                  schedule_event t ~at:(t.now + c) (Resume (k, ())))
           | Now -> Some (fun k -> continue k t.now)
           | Spawn (name', g) ->
               Some
@@ -80,7 +110,9 @@ let rec start t name f =
           | Suspend register ->
               Some
                 (fun k ->
-                  t.blocked <- (pid, pname) :: t.blocked;
+                  t.blocked_names.(pid) <- pname;
+                  t.is_blocked.(pid) <- true;
+                  t.blocked_count <- t.blocked_count + 1;
                   (match t.observer with
                   | None -> ()
                   | Some o -> o.on_park ~id:pid ~name:pname ~at:t.now);
@@ -90,12 +122,12 @@ let rec start t name f =
                       invalid_arg
                         (Printf.sprintf "Sim: process %s woken twice" pname);
                     woken := true;
-                    t.blocked <-
-                      List.filter (fun (id, _) -> id <> pid) t.blocked;
+                    t.is_blocked.(pid) <- false;
+                    t.blocked_count <- t.blocked_count - 1;
                     (match t.observer with
                     | None -> ()
                     | Some o -> o.on_wake ~id:pid ~name:pname ~at:t.now);
-                    schedule t ~at:t.now (fun () -> continue k v)
+                    schedule_event t ~at:t.now (Resume (k, v))
                   in
                   register wake)
           | Whoami -> Some (fun k -> continue k pname)
@@ -104,31 +136,42 @@ let rec start t name f =
 
 let spawn t ?name f = schedule t ~at:t.now (fun () -> start t name f)
 
+(* The engine's innermost loop: with no observer installed this
+   allocates nothing — the clock read, the pop and the dispatch all
+   operate on unboxed ints and the stored event. *)
 let step t =
-  match Heap.pop t.events with
-  | None -> false
-  | Some (time, _seq, action) ->
-      t.now <- time;
-      action ();
-      true
+  if Heap.is_empty t.events then false
+  else begin
+    t.now <- Heap.min_time t.events;
+    t.processed <- t.processed + 1;
+    (match Heap.pop_min t.events with
+    | Run action -> action ()
+    | Resume (k, v) -> Effect.Deep.continue k v);
+    true
+  end
 
 let run t =
   while step t do
     ()
   done;
-  match t.blocked with
-  | [] -> ()
-  | stuck ->
-      let names = List.map snd stuck |> String.concat ", " in
-      raise (Deadlock names)
+  if t.blocked_count > 0 then begin
+    (* Sorted at raise time so the report does not depend on park order
+       (which parallel-built scenarios don't fix). *)
+    let names = ref [] in
+    for pid = t.next_pid - 1 downto 0 do
+      if t.is_blocked.(pid) then names := t.blocked_names.(pid) :: !names
+    done;
+    let names = List.sort String.compare !names in
+    raise (Deadlock (String.concat ", " names))
+  end
 
 let run_until t limit =
   let limit = Cycles.to_int limit in
   let continue_running = ref true in
   while !continue_running do
-    match Heap.peek t.events with
-    | Some (time, _, _) when time <= limit -> ignore (step t)
-    | Some _ | None -> continue_running := false
+    if (not (Heap.is_empty t.events)) && Heap.min_time t.events <= limit then
+      ignore (step t)
+    else continue_running := false
   done;
   (* Advance the clock to the horizon even if no event landed exactly on
      it, so a subsequent [schedule]/[now] observes [limit], not the time
@@ -164,19 +207,21 @@ let spawn_here ?name f =
 type sim_handle = t
 
 module Signal = struct
-  type t = { mutable waiters : (unit -> unit) list }
+  type t = { waiters : (unit -> unit) Fifo.t }
 
-  let create (_ : sim_handle) = { waiters = [] }
+  let create (_ : sim_handle) = { waiters = Fifo.create () }
 
-  let wait s =
-    suspend (fun wake -> s.waiters <- wake :: s.waiters)
+  let wait s = suspend (fun wake -> Fifo.push s.waiters wake)
 
+  (* Draining until empty wakes exactly the processes parked now: a
+     woken process only re-parks when the scheduler next runs it, never
+     during this loop. *)
   let notify s =
-    let ws = List.rev s.waiters in
-    s.waiters <- [];
-    List.iter (fun wake -> wake ()) ws
+    while not (Fifo.is_empty s.waiters) do
+      (Fifo.pop s.waiters) ()
+    done
 
-  let waiters s = List.length s.waiters
+  let waiters s = Fifo.length s.waiters
 end
 
 let whoami () =
@@ -186,43 +231,50 @@ module Mailbox = struct
   type 'a t = {
     sim : sim_handle;
     mb_name : string;
-    queue : 'a Queue.t;
-    takers : ('a -> unit) Queue.t; (* FIFO: push on park, pop on send *)
+    queue : 'a Fifo.t;
+    takers : ('a -> unit) Fifo.t; (* FIFO: push on park, pop on send *)
   }
 
   let create ?(name = "mailbox") (sim : sim_handle) =
-    { sim; mb_name = name; queue = Queue.create (); takers = Queue.create () }
+    { sim; mb_name = name; queue = Fifo.create (); takers = Fifo.create () }
 
   let depth_changed mb =
     match mb.sim.observer with
     | None -> ()
     | Some o ->
         o.on_queue_depth ~mailbox:mb.mb_name ~at:mb.sim.now
-          ~depth:(Queue.length mb.queue)
+          ~depth:(Fifo.length mb.queue)
 
+  (* Depth events fire exactly on queue-length transitions: a send that
+     hands the value straight to a parked receiver never touches the
+     queue, so it reports nothing (it used to re-report the unchanged
+     depth), and symmetrically a recv satisfied by wake-up stays
+     silent. *)
   let send mb v =
-    (match Queue.take_opt mb.takers with
-    | Some wake -> wake v
-    | None -> Queue.push v mb.queue);
-    depth_changed mb
+    if Fifo.is_empty mb.takers then begin
+      Fifo.push mb.queue v;
+      depth_changed mb
+    end
+    else (Fifo.pop mb.takers) v
 
   let recv mb =
-    if Queue.is_empty mb.queue then
-      suspend (fun wake -> Queue.push wake mb.takers)
+    if Fifo.is_empty mb.queue then
+      suspend (fun wake -> Fifo.push mb.takers wake)
     else begin
-      let v = Queue.pop mb.queue in
+      let v = Fifo.pop mb.queue in
       depth_changed mb;
       v
     end
 
   let try_recv mb =
-    match Queue.take_opt mb.queue with
-    | None -> None
-    | Some v ->
-        depth_changed mb;
-        Some v
+    if Fifo.is_empty mb.queue then None
+    else begin
+      let v = Fifo.pop mb.queue in
+      depth_changed mb;
+      Some v
+    end
 
-  let length mb = Queue.length mb.queue
+  let length mb = Fifo.length mb.queue
 end
 
 module Resource = struct
@@ -230,18 +282,18 @@ module Resource = struct
     sim : sim_handle;
     r_name : string;
     mutable available : int;
-    waiters : (unit -> unit) Queue.t; (* FIFO: push on park, pop on release *)
+    waiters : (unit -> unit) Fifo.t; (* FIFO: push on park, pop on release *)
   }
 
   let create ?(name = "resource") (sim : sim_handle) ~capacity =
     if capacity < 1 then invalid_arg "Sim.Resource.create: capacity < 1";
-    { sim; r_name = name; available = capacity; waiters = Queue.create () }
+    { sim; r_name = name; available = capacity; waiters = Fifo.create () }
 
   let acquire r =
     if r.available > 0 then r.available <- r.available - 1
     else begin
       let parked_at = r.sim.now in
-      suspend (fun wake -> Queue.push wake r.waiters);
+      suspend (fun wake -> Fifo.push r.waiters wake);
       match r.sim.observer with
       | None -> ()
       | Some o ->
@@ -250,9 +302,8 @@ module Resource = struct
     end
 
   let release r =
-    match Queue.take_opt r.waiters with
-    | Some wake -> wake ()
-    | None -> r.available <- r.available + 1
+    if Fifo.is_empty r.waiters then r.available <- r.available + 1
+    else (Fifo.pop r.waiters) ()
 
   let available r = r.available
 

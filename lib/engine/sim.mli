@@ -15,12 +15,19 @@ type t
 
 exception Deadlock of string
 (** Raised by {!run} when processes remain blocked but no event can ever
-    wake them. The payload names the stuck processes. *)
+    wake them. The payload names the stuck processes, sorted, so the
+    report is deterministic regardless of park order. *)
 
 val create : unit -> t
 
 val now : t -> Cycles.t
 (** Current simulated time. *)
+
+val events_processed : t -> int
+(** Number of events the engine has executed since {!create}: every
+    delay expiry, wake-up and spawn counts as one event. Events/sec
+    ([events_processed] over host wall time) is the engine's raw
+    throughput metric, tracked PR-over-PR in [BENCH_events.json]. *)
 
 (** {1 Observability}
 
@@ -41,8 +48,10 @@ type observer = {
           {!Resource.acquire}: it parked at [at] and waited [waited]
           cycles. Uncontended acquires never report. *)
   on_queue_depth : mailbox:string -> at:int -> depth:int -> unit;
-      (** Called after any {!Mailbox} operation that changes the queue
-          depth. *)
+      (** Called exactly when a {!Mailbox} queue changes length: a send
+          that enqueues, or a recv/try_recv that dequeues. Direct
+          send-to-parked-receiver hand-offs bypass the queue and do not
+          report. *)
 }
 
 val set_observer : t -> observer option -> unit

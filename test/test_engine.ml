@@ -134,6 +134,79 @@ let prop_heap_sorted =
       let popped = drain [] in
       popped = List.sort Int.compare times)
 
+let test_heap_empty_errors () =
+  let h : unit Heap.t = Heap.create () in
+  Alcotest.check_raises "min_time on empty"
+    (Invalid_argument "Heap.min_time: empty heap") (fun () ->
+      ignore (Heap.min_time h));
+  Alcotest.check_raises "pop_min on empty"
+    (Invalid_argument "Heap.pop_min: empty heap") (fun () ->
+      ignore (Heap.pop_min h))
+
+let test_heap_order_across_grow () =
+  (* 100 pushes cross the 16 -> 32 -> 64 -> 128 capacity doublings;
+     decreasing times force a full sift-up each push. *)
+  let h = Heap.create () in
+  let n = 100 in
+  for i = 0 to n - 1 do
+    Heap.push h ~time:(n - i) ~seq:i i
+  done;
+  let popped = List.init n (fun _ -> Heap.pop_min h) in
+  Alcotest.(check (list int)) "latest pushes pop first"
+    (List.init n (fun j -> n - 1 - j))
+    popped;
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_heap_pop_liveness () =
+  (* The pre-PR heap left popped entries reachable from the backing
+     array, pinning their payloads until a later push overwrote the
+     slot. A popped value must be collectable immediately. *)
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  let setup () =
+    let v = ref 42 in
+    Weak.set w 0 (Some v);
+    Heap.push h ~time:0 ~seq:0 v;
+    (* A second entry keeps the heap (and its backing array) live. *)
+    Heap.push h ~time:1 ~seq:1 (ref 0)
+  in
+  setup ();
+  let drop_popped () = ignore (Heap.pop_min h) in
+  drop_popped ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped value collected" false (Weak.check w 0);
+  Alcotest.(check int) "remaining entry untouched" 1 (Heap.size h)
+
+(* --- Fifo ---------------------------------------------------------- *)
+
+module Fifo = Armvirt_engine.Fifo
+
+let test_fifo_order_across_wraparound () =
+  let q = Fifo.create () in
+  (* Push/pop enough to wrap the ring head past several grow cycles. *)
+  let popped = ref [] in
+  for i = 1 to 5 do
+    Fifo.push q i
+  done;
+  for _ = 1 to 3 do
+    popped := Fifo.pop q :: !popped
+  done;
+  for i = 6 to 45 do
+    Fifo.push q i
+  done;
+  while not (Fifo.is_empty q) do
+    popped := Fifo.pop q :: !popped
+  done;
+  Alcotest.(check (list int)) "strict FIFO across grow + wrap"
+    (List.init 45 (fun i -> i + 1))
+    (List.rev !popped);
+  Alcotest.(check int) "length zero" 0 (Fifo.length q)
+
+let test_fifo_pop_empty_errors () =
+  let q : int Fifo.t = Fifo.create () in
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Fifo.pop: empty")
+    (fun () -> ignore (Fifo.pop q))
+
 (* --- Sim ----------------------------------------------------------- *)
 
 let test_sim_delay_advances_time () =
@@ -384,6 +457,123 @@ let test_sim_double_wake_rejected () =
       | exception Invalid_argument _ -> ());
   Sim.run sim
 
+let deadlock_names spawn_order =
+  let sim = Sim.create () in
+  let s = Sim.Signal.create sim in
+  List.iter
+    (fun n -> Sim.spawn sim ~name:n (fun () -> Sim.Signal.wait s))
+    spawn_order;
+  match Sim.run sim with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Deadlock names -> names
+
+let test_sim_deadlock_names_sorted () =
+  let a = deadlock_names [ "zeta"; "alpha"; "mid" ] in
+  let b = deadlock_names [ "mid"; "zeta"; "alpha" ] in
+  Alcotest.(check string) "names sorted" "alpha, mid, zeta" a;
+  Alcotest.(check string) "independent of park order" a b
+
+let test_sim_events_processed () =
+  let run () =
+    let sim = Sim.create () in
+    Sim.spawn sim ~name:"p" (fun () ->
+        for _ = 1 to 3 do
+          Sim.delay Cycles.one
+        done);
+    Sim.run sim;
+    Sim.events_processed sim
+  in
+  (* One spawn event plus three delay expiries. *)
+  Alcotest.(check int) "exact event count" 4 (run ());
+  Alcotest.(check int) "deterministic across runs" (run ()) (run ())
+
+let null_observer =
+  {
+    Sim.on_spawn = (fun ~id:_ ~name:_ ~at:_ -> ());
+    on_park = (fun ~id:_ ~name:_ ~at:_ -> ());
+    on_wake = (fun ~id:_ ~name:_ ~at:_ -> ());
+    on_contention = (fun ~resource:_ ~proc:_ ~at:_ ~waited:_ -> ());
+    on_queue_depth = (fun ~mailbox:_ ~at:_ ~depth:_ -> ());
+  }
+
+let test_sim_mailbox_depth_transitions () =
+  (* Depth events fire exactly on queue-length transitions: the direct
+     send-to-parked-receiver hand-off bypasses the queue and must stay
+     silent (it used to re-report the unchanged depth). *)
+  let sim = Sim.create () in
+  let depths = ref [] in
+  Sim.set_observer sim
+    (Some
+       {
+         null_observer with
+         Sim.on_queue_depth =
+           (fun ~mailbox:_ ~at:_ ~depth -> depths := depth :: !depths);
+       });
+  let mb = Sim.Mailbox.create ~name:"mb" sim in
+  Sim.spawn sim ~name:"consumer" (fun () ->
+      (* Parks first; the matching send hands off directly. *)
+      ignore (Sim.Mailbox.recv mb);
+      Sim.delay (cycles_of 10);
+      ignore (Sim.Mailbox.recv mb);
+      ignore (Sim.Mailbox.recv mb));
+  Sim.spawn sim ~name:"producer" (fun () ->
+      Sim.delay Cycles.one;
+      Sim.Mailbox.send mb 1;
+      (* direct handoff: no depth event *)
+      Sim.Mailbox.send mb 2;
+      (* enqueued: depth 1 *)
+      Sim.Mailbox.send mb 3 (* enqueued: depth 2 *));
+  Sim.run sim;
+  Alcotest.(check (list int)) "transitions only" [ 1; 2; 1; 0 ]
+    (List.rev !depths)
+
+(* --- BENCH_events.json golden --------------------------------------- *)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i =
+    i + n <= m && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let rec find_repo_root dir =
+  if Sys.file_exists (Filename.concat dir "BENCH_events.json") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then None else find_repo_root parent
+
+let test_bench_events_schema () =
+  (* Tests run from _build/default/test; walk up past _build to the
+     checkout root, the same way the lint driver finds dune-project. *)
+  match find_repo_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "BENCH_events.json not found above the test cwd"
+  | Some root ->
+      let path = Filename.concat root "BENCH_events.json" in
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "contains %s" needle)
+            true (contains s needle))
+        [
+          "\"schema\": \"armvirt.bench-events/v1\"";
+          "\"scale\": 1";
+          "\"results\": [";
+          "\"engine_micro_geomean_speedup\"";
+          "\"heap-churn\"";
+          "\"delay-churn\"";
+          "\"suspend-wake\"";
+          "\"resource-contend\"";
+          "\"mailbox-pingpong\"";
+          "\"netperf-rr\"";
+          "\"migrate-precopy\"";
+        ]
+
 let prop_sim_determinism =
   QCheck.Test.make ~name:"two identical runs produce identical traces"
     QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 100))
@@ -419,8 +609,20 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo at same time" `Quick test_heap_fifo_at_same_time;
           Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "empty errors" `Quick test_heap_empty_errors;
+          Alcotest.test_case "order across grow" `Quick
+            test_heap_order_across_grow;
+          Alcotest.test_case "popped values collectable" `Quick
+            test_heap_pop_liveness;
         ]
         @ qcheck [ prop_heap_sorted; prop_heap_random_pairs ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order across wraparound" `Quick
+            test_fifo_order_across_wraparound;
+          Alcotest.test_case "pop empty errors" `Quick
+            test_fifo_pop_empty_errors;
+        ] );
       ( "sim",
         [
           Alcotest.test_case "delay advances time" `Quick test_sim_delay_advances_time;
@@ -451,6 +653,17 @@ let () =
             test_sim_resource_released_on_exception;
           Alcotest.test_case "double wake rejected" `Quick
             test_sim_double_wake_rejected;
+          Alcotest.test_case "deadlock names sorted" `Quick
+            test_sim_deadlock_names_sorted;
+          Alcotest.test_case "events processed counter" `Quick
+            test_sim_events_processed;
+          Alcotest.test_case "mailbox depth transitions" `Quick
+            test_sim_mailbox_depth_transitions;
         ]
         @ qcheck [ prop_sim_determinism ] );
+      ( "bench",
+        [
+          Alcotest.test_case "BENCH_events.json schema" `Quick
+            test_bench_events_schema;
+        ] );
     ]

@@ -449,6 +449,50 @@ let test_untraced_capture_is_transparent () =
   Alcotest.(check int) "value" 42 v;
   Alcotest.(check bool) "no cell" true (cell = None)
 
+(* --- Mailbox depth through the tracer glue -------------------------- *)
+
+let test_mailbox_depth_value_events () =
+  (* Same wiring Observe uses: on_queue_depth -> Tracer.value. A direct
+     send-to-parked-receiver hand-off bypasses the queue, so it must
+     leave no Value event behind (it used to re-report the unchanged
+     depth); only the enqueue and the later dequeue appear. *)
+  let sim = Sim.create () in
+  let tracer = Tracer.create () in
+  Sim.set_observer sim
+    (Some
+       {
+         Sim.on_spawn = (fun ~id:_ ~name:_ ~at:_ -> ());
+         on_park = (fun ~id:_ ~name:_ ~at:_ -> ());
+         on_wake = (fun ~id:_ ~name:_ ~at:_ -> ());
+         on_contention = (fun ~resource:_ ~proc:_ ~at:_ ~waited:_ -> ());
+         on_queue_depth =
+           (fun ~mailbox ~at ~depth ->
+             Tracer.value tracer ~track:("mb:" ^ mailbox) ~cat:Span.Io
+               ~name:mailbox ~ts:at ~value:depth);
+       });
+  let mb = Sim.Mailbox.create ~name:"inbox" sim in
+  Sim.spawn sim ~name:"consumer" (fun () ->
+      ignore (Sim.Mailbox.recv mb);
+      (* parked: direct handoff resumes it at t=1 *)
+      Sim.delay (Armvirt_engine.Cycles.of_int 10);
+      ignore (Sim.Mailbox.recv mb) (* dequeues at t=11: depth 0 *));
+  Sim.spawn sim ~name:"producer" (fun () ->
+      Sim.delay Armvirt_engine.Cycles.one;
+      Sim.Mailbox.send mb 1;
+      (* handoff: no event *)
+      Sim.Mailbox.send mb 2 (* enqueued: depth 1 *));
+  Sim.run sim;
+  let values =
+    List.filter_map
+      (fun e ->
+        match e.Span.kind with Span.Value v -> Some (e.Span.ts, v) | _ -> None)
+      (Tracer.events tracer)
+  in
+  Alcotest.(check (list (pair int int)))
+    "only queue transitions traced"
+    [ (1, 1); (11, 0) ]
+    values
+
 let () =
   Alcotest.run "obs"
     [
@@ -507,6 +551,8 @@ let () =
           Alcotest.test_case "memo metrics" `Quick test_memo_metrics;
           Alcotest.test_case "tracing does not change results" `Quick
             test_tracing_does_not_change_results;
+          Alcotest.test_case "mailbox depth value events" `Quick
+            test_mailbox_depth_value_events;
           Alcotest.test_case "untraced capture transparent" `Quick
             test_untraced_capture_is_transparent;
         ] );
