@@ -16,8 +16,10 @@ module Platform = Armvirt_core.Platform
 module Experiment = Armvirt_core.Experiment
 module Report = Armvirt_core.Report
 module Observe = Armvirt_core.Observe
+module Stat_report = Armvirt_core.Stat_report
 module Export = Armvirt_obs.Export
 module Metrics = Armvirt_obs.Metrics
+module Stat = Armvirt_obs.Stat
 module W = Armvirt_workloads
 module Hypervisor = Armvirt_hypervisor.Hypervisor
 
@@ -164,10 +166,37 @@ let print_verbose ppf =
   Format.fprintf ppf "memo: %d hits, %d misses@." hits misses;
   Metrics.pp_prometheus ppf (Observe.metrics ())
 
-(* Tracing and [--verbose] share a session: both need the metric
-   registry populated, tracing additionally exports the span ring. *)
-let with_session ~context ~trace_file ~verbose f =
-  if trace_file = None && not verbose then f ()
+let stat_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stat" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write the exit-accounting report (per-reason \
+           exit counts and latencies, guest/hypervisor cycle \
+           attribution) as $(b,armvirt.stat/v1) JSON to $(docv); \
+           $(b,-) writes it to stdout.")
+
+let write_stat ppf ~context path =
+  let acct = Stat_report.of_session () in
+  let render out =
+    Stat.render_json ~context out acct;
+    Format.pp_print_flush out ()
+  in
+  match path with
+  | "-" -> render Format.std_formatter
+  | path ->
+      let oc = open_out path in
+      render (Format.formatter_of_out_channel oc);
+      close_out oc;
+      Format.fprintf ppf "wrote %s (%d accounting rows)@." path
+        (List.length (Stat_report.of_session ()).Armvirt_obs.Accounting.vms)
+
+(* Tracing, [--stat] and [--verbose] share a session: all need the
+   observer hooks installed; they differ only in what is exported
+   afterwards. *)
+let with_session ~context ?(stat_file = None) ~trace_file ~verbose f =
+  if trace_file = None && stat_file = None && not verbose then f ()
   else begin
     Observe.enable ~context ();
     Observe.set_verbose verbose;
@@ -175,6 +204,9 @@ let with_session ~context ~trace_file ~verbose f =
         let v = f () in
         (match trace_file with
         | Some path -> write_trace ppf ~format:`Chrome path
+        | None -> ());
+        (match stat_file with
+        | Some path -> write_stat ppf ~context path
         | None -> ());
         if verbose then print_verbose ppf;
         v)
@@ -284,14 +316,15 @@ let run_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see `armvirt list`).")
   in
-  let run jobs trace_file verbose ids =
+  let run jobs trace_file stat_file verbose ids =
     apply_jobs jobs;
-    with_session ~context:(String.concat "+" ids) ~trace_file ~verbose
-      (fun () -> List.iter (run_experiment ppf) ids)
+    with_session ~context:(String.concat "+" ids) ~stat_file ~trace_file
+      ~verbose (fun () -> List.iter (run_experiment ppf) ids)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ jobs_arg $ trace_file_arg $ verbose_arg $ ids)
+    Term.(
+      const run $ jobs_arg $ trace_file_arg $ stat_file_arg $ verbose_arg $ ids)
 
 (* --- micro ---------------------------------------------------------------- *)
 
@@ -301,9 +334,10 @@ let micro_cmd =
       value & opt int 32
       & info [ "iterations" ] ~docv:"N" ~doc:"Iterations per microbenchmark.")
   in
-  let run platform hyp iterations jobs trace_file =
+  let run platform hyp iterations jobs trace_file stat_file =
     apply_jobs jobs;
-    with_session ~context:"micro" ~trace_file ~verbose:false (fun () ->
+    with_session ~context:"micro" ~stat_file ~trace_file ~verbose:false
+      (fun () ->
         (* The hypervisor (and its machine) must be built inside the
            captured cell so the tracer attaches to it. *)
         traced_cell "micro#0.0" (fun () ->
@@ -322,7 +356,7 @@ let micro_cmd =
     (Cmd.info "micro" ~doc:"Run the Table I microbenchmark suite")
     Term.(
       const run $ platform_arg $ hyp_arg $ iterations $ jobs_arg
-      $ trace_file_arg)
+      $ trace_file_arg $ stat_file_arg)
 
 (* --- app ------------------------------------------------------------------- *)
 
@@ -338,9 +372,10 @@ let app_cmd =
       & info [ "distribute-irqs" ]
           ~doc:"Spread virtual interrupts across all VCPUs (section V ablation).")
   in
-  let run platform hyp name distribute jobs trace_file =
+  let run platform hyp name distribute jobs trace_file stat_file =
     apply_jobs jobs;
-    with_session ~context:"app" ~trace_file ~verbose:false @@ fun () ->
+    with_session ~context:"app" ~stat_file ~trace_file ~verbose:false
+    @@ fun () ->
     traced_cell "app#0.0" @@ fun () ->
     let hypervisor = resolve platform hyp in
     match String.uppercase_ascii name with
@@ -380,7 +415,7 @@ let app_cmd =
     (Cmd.info "app" ~doc:"Run one application workload (Figure 4 model)")
     Term.(
       const run $ platform_arg $ hyp_arg $ workload $ distribute $ jobs_arg
-      $ trace_file_arg)
+      $ trace_file_arg $ stat_file_arg)
 
 (* --- rr ---------------------------------------------------------------------- *)
 
@@ -468,6 +503,206 @@ let trace_cmd =
        ~doc:"Run an experiment under the tracer and export the trace")
     Term.(
       const run $ platform_arg $ hyp_arg $ jobs_arg $ target $ out $ format)
+
+(* --- stat ----------------------------------------------------------------- *)
+
+let stat_cmd =
+  let targets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "What to account: any experiment id from `armvirt list`, or \
+             $(b,rr) / $(b,micro) for the direct workload paths \
+             (honouring $(b,-p)/$(b,-H)). With $(b,--diff), two \
+             armvirt.stat/v1 JSON files (old then new).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file; $(b,-) (default) writes to stdout.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("csv", `Csv); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "$(b,text) (perf-kvm-stat-style table), $(b,csv), or $(b,json) \
+             (the armvirt.stat/v1 schema $(b,--diff) consumes).")
+  in
+  let per_vcpu =
+    Arg.(
+      value & flag
+      & info [ "per-vcpu" ]
+          ~doc:"Break exit rows out per physical CPU (VCPU pinning is 1:1).")
+  in
+  let top =
+    Arg.(
+      value & opt int 0
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Keep only the top $(docv) exit reasons by count; 0 = all.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 32
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Iterations per microbenchmark ($(b,micro) target and \
+             $(b,--crosscheck)).")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Regression-gate mode: compare two armvirt.stat/v1 JSON \
+             reports and exit non-zero if any exit count, op count, \
+             latency sum or cycle attribution moved beyond the \
+             tolerances.")
+  in
+  let count_tolerance =
+    Arg.(
+      value & opt float Stat.default_thresholds.Stat.count_pct
+      & info [ "count-tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Max tolerated relative change of any count, in percent. The \
+             simulation is deterministic, so the default is $(b,0): any \
+             count change is a finding.")
+  in
+  let cycles_tolerance =
+    Arg.(
+      value & opt float Stat.default_thresholds.Stat.cycles_pct
+      & info [ "cycles-tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Max tolerated relative change of latency sums and \
+             attribution cycles, in percent.")
+  in
+  let crosscheck =
+    Arg.(
+      value & flag
+      & info [ "crosscheck" ]
+          ~doc:
+            "Validate the trace-derived accounting against the analytic \
+             cost model on all five hypervisor models (Table III span \
+             reconstruction, hypercall exit latency vs path costs and \
+             Table II, structural exit mixes); exit non-zero if any \
+             check is out of tolerance.")
+  in
+  let perturb_vgic_save =
+    Arg.(
+      value & opt (some int) None
+      & info [ "perturb-vgic-save" ] ~docv:"CYCLES"
+          ~doc:
+            "Self-test hook for the $(b,--diff) gate: run the $(b,micro) \
+             target on a split-mode KVM ARM model whose VGIC save cost \
+             is overridden to $(docv) cycles (Table III default: 3250), \
+             so the report measurably shifts.")
+  in
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let read_file path = In_channel.with_open_bin path In_channel.input_all in
+  let run platform hyp jobs iterations format out per_vcpu top diff crosscheck
+      count_pct cycles_pct perturb targets =
+    apply_jobs jobs;
+    if diff then (
+      match targets with
+      | [ old_file; new_file ] -> (
+          let thresholds = { Stat.count_pct; cycles_pct } in
+          match Stat.diff ~thresholds (read_file old_file) (read_file new_file)
+          with
+          | Error msg ->
+              Format.fprintf ppf "stat diff: %s@." msg;
+              exit 2
+          | Ok [] ->
+              Format.fprintf ppf
+                "stat diff: no findings (count tol %.2f%%, cycles tol \
+                 %.2f%%)@."
+                count_pct cycles_pct
+          | Ok findings ->
+              Stat.pp_findings ppf findings;
+              exit 1)
+      | _ ->
+          Format.fprintf ppf "stat --diff needs exactly two JSON reports@.";
+          exit 2)
+    else if crosscheck then begin
+      let checks = Stat_report.crosscheck ~iterations () in
+      Stat_report.pp_checks ppf checks;
+      if not (List.for_all Stat_report.check_ok checks) then exit 1
+    end
+    else
+      match targets with
+      | [ target ] ->
+          Observe.enable ~context:target ();
+          Fun.protect ~finally:Observe.disable (fun () ->
+              (match target with
+              | "micro" ->
+                  traced_cell "micro#0.0" (fun () ->
+                      let hypervisor =
+                        match perturb with
+                        | None -> resolve platform hyp
+                        | Some save ->
+                            (* Perturbed split-mode KVM ARM, whatever
+                               -p/-H say: the knob exists to move the
+                               committed baseline measurably. *)
+                            let module Cost_model = Armvirt_arch.Cost_model in
+                            let arm = Cost_model.arm_default in
+                            let restore =
+                              (arm.Cost_model.reg Armvirt_arch.Reg_class.Vgic)
+                                .Cost_model.restore
+                            in
+                            let cost =
+                              Cost_model.Arm
+                                (Cost_model.with_reg_cost
+                                   Armvirt_arch.Reg_class.Vgic ~save ~restore
+                                   arm)
+                            in
+                            Armvirt_hypervisor.Kvm_arm.to_hypervisor
+                              (Armvirt_hypervisor.Kvm_arm.create
+                                 (Platform.machine_with ~cost))
+                      in
+                      ignore (W.Microbench.run ~iterations hypervisor))
+              | "rr" ->
+                  traced_cell "rr#0.0" (fun () ->
+                      ignore (W.Netperf.run_tcp_rr (resolve platform hyp)))
+              | id when List.mem_assoc id experiments ->
+                  run_experiment null_ppf id
+              | other ->
+                  Format.fprintf ppf
+                    "unknown experiment %S; try `armvirt list`@." other;
+                  exit 2);
+              let acct = Stat_report.of_session () in
+              let opts = { Stat.per_vcpu; top } in
+              let render fmt =
+                (match format with
+                | `Text -> Stat.render_text ~opts ~context:target fmt acct
+                | `Csv -> Stat.render_csv ~opts ~context:target fmt acct
+                | `Json -> Stat.render_json ~opts ~context:target fmt acct);
+                Format.pp_print_flush fmt ()
+              in
+              match out with
+              | "-" -> render Format.std_formatter
+              | path ->
+                  let oc = open_out path in
+                  render (Format.formatter_of_out_channel oc);
+                  close_out oc;
+                  Format.fprintf ppf "wrote %s@." path)
+      | _ ->
+          Format.fprintf ppf
+            "stat needs one target (or --diff OLD NEW / --crosscheck); try \
+             `armvirt list`@.";
+          exit 2
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "kvm_stat-style exit accounting: per-reason exit counts and \
+          latencies, guest vs hypervisor cycle attribution, regression \
+          diffing and the trace-vs-analytic crosscheck")
+    Term.(
+      const run $ platform_arg $ hyp_arg $ jobs_arg $ iterations $ format
+      $ out $ per_vcpu $ top $ diff $ crosscheck $ count_tolerance
+      $ cycles_tolerance $ perturb_vgic_save $ targets)
 
 (* --- timeline ------------------------------------------------------------ *)
 
@@ -824,7 +1059,7 @@ let migrate_cmd =
     (header, List.map cells rows)
   in
   let run platform hyp pages page_kb vcpus hot_pages rate bandwidth rounds
-      downtime seed compare detail format out jobs trace_file =
+      downtime seed compare detail format out jobs trace_file stat_file =
     apply_jobs jobs;
     let plan =
       {
@@ -845,7 +1080,8 @@ let migrate_cmd =
     | exception Invalid_argument msg ->
         Format.fprintf ppf "invalid plan: %s@." msg;
         exit 2);
-    with_session ~context:"migrate" ~trace_file ~verbose:false @@ fun () ->
+    with_session ~context:"migrate" ~stat_file ~trace_file ~verbose:false
+    @@ fun () ->
     let results =
       if compare then Experiment.migrate ~plan ()
       else
@@ -874,7 +1110,7 @@ let migrate_cmd =
     Term.(
       const run $ platform_arg $ hyp_arg $ pages $ page_kb $ vcpus $ hot_pages
       $ rate $ bandwidth $ rounds $ downtime $ seed $ compare $ detail
-      $ format_arg $ out_arg $ jobs_arg $ trace_file_arg)
+      $ format_arg $ out_arg $ jobs_arg $ trace_file_arg $ stat_file_arg)
 
 (* --- bench-events ---------------------------------------------------------- *)
 
@@ -896,23 +1132,28 @@ let bench_events_cmd =
       value & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:
-            "Also write the results as BENCH_events.json schema v1 to \
+            "Also write the results as BENCH_events.json schema v2 to \
              $(docv); $(b,-) writes the JSON to stdout instead of the \
              table.")
   in
   let run scale out =
     let results = Bench_events.suite ~scale () in
+    let overhead = Bench_events.overhead_trial ~scale () in
     match out with
-    | Some "-" -> Bench_events.emit_json Format.std_formatter ~scale results
+    | Some "-" ->
+        Bench_events.emit_json Format.std_formatter ~scale ~overhead results
     | Some path ->
         Bench_events.pp_table ppf results;
+        Bench_events.pp_overhead ppf overhead;
         let oc = open_out path in
         let fmt = Format.formatter_of_out_channel oc in
-        Bench_events.emit_json fmt ~scale results;
+        Bench_events.emit_json fmt ~scale ~overhead results;
         Format.pp_print_flush fmt ();
         close_out oc;
         Format.fprintf ppf "wrote %s@." path
-    | None -> Bench_events.pp_table ppf results
+    | None ->
+        Bench_events.pp_table ppf results;
+        Bench_events.pp_overhead ppf overhead
   in
   Cmd.v
     (Cmd.info "bench-events"
@@ -967,6 +1208,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
-            timeline_cmd; explore_cmd; migrate_cmd; bench_events_cmd;
-            report_cmd; lint_cmd;
+            stat_cmd; timeline_cmd; explore_cmd; migrate_cmd;
+            bench_events_cmd; report_cmd; lint_cmd;
           ]))

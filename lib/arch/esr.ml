@@ -33,6 +33,17 @@ let decode syndrome =
   let code = (syndrome lsr 26) land 0x3f in
   Option.map (fun cls -> (cls, syndrome land (il_bit - 1))) (of_ec code)
 
+let short_name = function
+  | Wfi_wfe -> "wfx"
+  | Hvc64 -> "hvc"
+  | Smc64 -> "smc"
+  | Sysreg_trap -> "sysreg"
+  | Inst_abort_lower -> "iabt"
+  | Data_abort_lower -> "dabt"
+  | Irq -> "irq"
+
+let of_short_name s = List.find_opt (fun cls -> short_name cls = s) all
+
 let describe = function
   | Wfi_wfe -> "WFI/WFE: the guest idled"
   | Hvc64 -> "HVC: hypercall"

@@ -32,4 +32,11 @@ val decode : int -> (exception_class * int) option
 
 val describe : exception_class -> string
 
+val short_name : exception_class -> string
+(** A stable lowercase mnemonic (["hvc"], ["dabt"], ["irq"], ...) used
+    to key exit-marker counter labels and the [armvirt stat] report.
+    Never contains ['/'], ['.'] or whitespace. *)
+
+val of_short_name : string -> exception_class option
+
 val all : exception_class list

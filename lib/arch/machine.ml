@@ -13,6 +13,7 @@ type t = {
     (label:string -> cycles:int -> now:Cycles.t -> unit) option;
   mutable obs_observer :
     (label:string -> cycles:int -> now:Cycles.t -> unit) option;
+  mutable count_observer : (label:string -> now:Cycles.t -> unit) option;
 }
 
 (* Process-wide hook run on every [create], so a tracing session can
@@ -40,6 +41,7 @@ let create sim ~cost ~num_cpus =
       cpus = Array.init num_cpus make_cpu;
       observer = None;
       obs_observer = None;
+      count_observer = None;
     }
   in
   (match !create_hook with None -> () | Some h -> h t);
@@ -60,6 +62,7 @@ let exclusive cpu = cpu.exclusive
 
 let observe t observer = t.observer <- observer
 let observe_obs t observer = t.obs_observer <- observer
+let observe_count t observer = t.count_observer <- observer
 
 let spend t label cycles =
   if cycles < 0 then invalid_arg "Machine.spend: negative cycles";
@@ -73,6 +76,10 @@ let spend t label cycles =
   | Some notify -> notify ~label ~cycles ~now:(Sim.current_time ())
   | None -> ()
 
-let count t label = Counter.incr t.counters label
+let count t label =
+  Counter.incr t.counters label;
+  match t.count_observer with
+  | Some notify -> notify ~label ~now:(Sim.now t.sim)
+  | None -> ()
 let freq_ghz t = Cost_model.freq_ghz t.cost
 let elapsed_us t c = Cycles.to_us ~hz:(freq_ghz t *. 1e9) c

@@ -49,6 +49,16 @@ val observe_obs :
     {!observe}, reserved for the structured tracing layer so it can
     coexist with a user-installed {!Armvirt_stats.Trace} observer. *)
 
+val observe_count :
+  t -> (label:string -> now:Armvirt_engine.Cycles.t -> unit) option -> unit
+(** Installs (or clears) an observer invoked on every {!count} with the
+    counter label and the machine's current simulated time. The
+    accounting layer turns exit/entry marker counts into instant trace
+    events through this slot; with no observer installed, {!count} costs
+    one hashtable increment and an option check. Unlike the spend
+    observers it reads the machine clock directly, so it is safe from
+    outside a simulation process. *)
+
 val set_create_hook : (t -> unit) option -> unit
 (** Installs (or clears) a process-wide hook invoked on every {!create}
     with the new machine. Lets a tracing session instrument machines that

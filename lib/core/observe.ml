@@ -64,6 +64,13 @@ let attach live m =
          Metrics.incr metrics
            ~labels:[ ("category", Span.category_to_string cat) ]
            ~by:cycles "spend_cycles_total"));
+  (* Counts become instants on the same cpu track: the accounting layer
+     pairs exit/entry markers against it to derive exit latencies. *)
+  Machine.observe_count m
+    (Some
+       (fun ~label ~now ->
+         Tracer.instant tracer ~track:(prefix ^ "cpu") ~cat:(Span.of_label label)
+           ~name:label ~ts:(Cycles.to_int now)));
   (* Park times keyed by pid so blocked spans pair correctly even when
      several processes share a display name. *)
   let parked : (int, int) Hashtbl.t = Hashtbl.create 32 in

@@ -1,0 +1,349 @@
+module Sim = Armvirt_engine.Sim
+module Cycles = Armvirt_engine.Cycles
+module Machine = Armvirt_arch.Machine
+module Cost_model = Armvirt_arch.Cost_model
+module Reg_class = Armvirt_arch.Reg_class
+module Span = Armvirt_obs.Span
+module Tracer = Armvirt_obs.Tracer
+module Export = Armvirt_obs.Export
+module Accounting = Armvirt_obs.Accounting
+module H = Armvirt_hypervisor
+
+let of_session () = Accounting.of_processes (Observe.processes ())
+
+type check = {
+  model : string;
+  name : string;
+  measured : float;
+  expected : float;
+  tolerance_pct : float;
+}
+
+let check_ok c =
+  if c.expected = 0.0 then c.measured = 0.0
+  else
+    100.0 *. Float.abs (c.measured -. c.expected) /. Float.abs c.expected
+    <= c.tolerance_pct
+
+(* --- traced model runs --------------------------------------------- *)
+
+(* A private tracer wired straight to the machine, bypassing the global
+   Observe session: the crosscheck must work (and give the same answer)
+   whether or not `--trace` is active. *)
+let traced_run hyp f =
+  let m = hyp.H.Hypervisor.machine in
+  let tracer = Tracer.create () in
+  Machine.observe_obs m
+    (Some
+       (fun ~label ~cycles ~now ->
+         let now = Cycles.to_int now in
+         Tracer.complete tracer ~track:"cpu" ~cat:(Span.of_label label)
+           ~name:label ~ts:(now - cycles) ~dur:cycles));
+  Machine.observe_count m
+    (Some
+       (fun ~label ~now ->
+         Tracer.instant tracer ~track:"cpu" ~cat:(Span.of_label label)
+           ~name:label ~ts:(Cycles.to_int now)));
+  let sim = Machine.sim m in
+  Sim.spawn sim ~name:"stat-crosscheck" (fun () -> f hyp);
+  Sim.run sim;
+  Tracer.events tracer
+
+let accounting_of_events ~label events =
+  Accounting.of_processes
+    [ { Export.pid = 0; name = label; events; dropped = 0 } ]
+
+let full_suite ~iterations (hyp : H.Hypervisor.t) =
+  for _ = 1 to iterations do
+    hyp.H.Hypervisor.hypercall ();
+    hyp.H.Hypervisor.interrupt_controller_trap ();
+    ignore (hyp.H.Hypervisor.virtual_ipi ());
+    hyp.H.Hypervisor.virtual_irq_completion ();
+    hyp.H.Hypervisor.vm_switch ();
+    ignore (hyp.H.Hypervisor.io_latency_out ());
+    ignore (hyp.H.Hypervisor.io_latency_in ())
+  done
+
+let hypercall_only ~iterations (hyp : H.Hypervisor.t) =
+  for _ = 1 to iterations do
+    hyp.H.Hypervisor.hypercall ()
+  done
+
+(* --- analytic expectations ----------------------------------------- *)
+
+(* Structural exit mix of one full Table I iteration, derived from the
+   marked transitions in each model (see the per-path comments in
+   lib/hypervisor/). A deterministic simulator makes these exact. *)
+type mix = { hvc : int; dabt : int; irq : int; entries : int }
+
+(* Expected hypercall exit->entry marker distance: the sum of every
+   cycle spent between the exit marker (fired as the trap is decoded)
+   and the entry marker (fired after the world is restored). The
+   guest-side issue cost falls outside the marker pair; adding it back
+   gives the quantity Table II reports. *)
+type model_expect = {
+  label : string;
+  platform : Platform.t;
+  hyp_id : Platform.hyp_id;
+  mix : mix;
+  hypercall_lat : int;
+  guest_issue : int;
+  paper_hypercall : int option;  (** Paper_data.table2, when measured. *)
+}
+
+let arm = Cost_model.arm_default
+let arm_vhe = Cost_model.arm_vhe
+let x86 = Cost_model.x86_default
+
+let paper_hypercall quad_field =
+  match List.assoc_opt "Hypercall" Paper_data.table2 with
+  | None -> None
+  | Some q -> Some (quad_field q)
+
+let kvm_arm_split_lat =
+  let tun = H.Kvm_arm.default_tuning in
+  let exit_cost =
+    arm.Cost_model.trap_to_el2
+    + Cost_model.arm_save arm Reg_class.full_world_switch
+    + arm.Cost_model.stage2_toggle + arm.Cost_model.eret
+  in
+  let entry_cost =
+    arm.Cost_model.hvc_issue + arm.Cost_model.trap_to_el2
+    + arm.Cost_model.stage2_toggle
+    + Cost_model.arm_restore arm Reg_class.full_world_switch
+    + arm.Cost_model.eret
+  in
+  exit_cost + tun.H.Kvm_arm.host_dispatch + entry_cost
+
+let kvm_arm_vhe_lat =
+  let tun = H.Kvm_arm.default_tuning in
+  arm_vhe.Cost_model.trap_to_el2
+  + Cost_model.arm_save arm_vhe Reg_class.trap_only
+  + tun.H.Kvm_arm.vhe_dispatch
+  + Cost_model.arm_restore arm_vhe Reg_class.trap_only
+  + arm_vhe.Cost_model.eret
+
+let xen_arm_lat =
+  let tun = H.Xen_arm.default_tuning in
+  arm.Cost_model.trap_to_el2 + tun.H.Xen_arm.trap_save
+  + tun.H.Xen_arm.hypercall_dispatch + tun.H.Xen_arm.trap_restore
+  + arm.Cost_model.eret
+
+let kvm_x86_lat =
+  x86.Cost_model.vmexit + H.Kvm_x86.default_tuning.H.Kvm_x86.dispatch
+  + x86.Cost_model.vmentry
+
+let xen_x86_lat =
+  x86.Cost_model.vmexit + H.Xen_x86.default_tuning.H.Xen_x86.dispatch
+  + x86.Cost_model.vmentry
+
+let models =
+  [
+    {
+      label = "KVM ARM (VHE)";
+      platform = Platform.Arm_m400_vhe;
+      hyp_id = Platform.Kvm;
+      (* hypercall hvc; ict/vipi-send/io-out MMIO aborts; vm_switch and
+         vipi-receive IRQs; every exit re-enters, io_in adds one more. *)
+      mix = { hvc = 1; dabt = 3; irq = 2; entries = 7 };
+      hypercall_lat = kvm_arm_vhe_lat;
+      guest_issue = arm_vhe.Cost_model.hvc_issue;
+      paper_hypercall = None (* the paper had no VHE hardware *);
+    };
+    {
+      label = "KVM ARM";
+      platform = Platform.Arm_m400;
+      hyp_id = Platform.Kvm;
+      mix = { hvc = 1; dabt = 3; irq = 2; entries = 7 };
+      hypercall_lat = kvm_arm_split_lat;
+      guest_issue = arm.Cost_model.hvc_issue;
+      paper_hypercall = paper_hypercall (fun q -> q.Paper_data.kvm_arm);
+    };
+    {
+      label = "Xen ARM";
+      platform = Platform.Arm_m400;
+      hyp_id = Platform.Xen;
+      (* hvc: hypercall + both I/O event-channel sends; dabt: ict +
+         vipi-send; irq: vm_switch, vipi-receive and both event-channel
+         IPIs landing in EL2. io_out's DomU trap never re-enters. *)
+      mix = { hvc = 3; dabt = 2; irq = 4; entries = 8 };
+      hypercall_lat = xen_arm_lat;
+      guest_issue = arm.Cost_model.hvc_issue;
+      paper_hypercall = paper_hypercall (fun q -> q.Paper_data.xen_arm);
+    };
+    {
+      label = "KVM x86";
+      platform = Platform.X86_r320;
+      hyp_id = Platform.Kvm;
+      (* dabt: ict, non-vAPIC EOI, vipi-send (ICR) and virtqueue kick. *)
+      mix = { hvc = 1; dabt = 4; irq = 2; entries = 8 };
+      hypercall_lat = kvm_x86_lat;
+      guest_issue = x86.Cost_model.vmcall_issue;
+      paper_hypercall = paper_hypercall (fun q -> q.Paper_data.kvm_x86);
+    };
+    {
+      label = "Xen x86";
+      platform = Platform.X86_r320;
+      hyp_id = Platform.Xen;
+      (* hvc: hypercall + evtchn_send kick; dabt: ict, non-vAPIC EOI,
+         vipi-send. Dom0 is PV and never transitions, so io_in only
+         contributes the DomU re-entry. *)
+      mix = { hvc = 2; dabt = 3; irq = 2; entries = 8 };
+      hypercall_lat = xen_x86_lat;
+      guest_issue = x86.Cost_model.vmcall_issue;
+      paper_hypercall = paper_hypercall (fun q -> q.Paper_data.xen_x86);
+    };
+  ]
+
+(* --- trace-side extraction ----------------------------------------- *)
+
+let vm_of acct =
+  match acct.Accounting.vms with
+  | [ vm ] -> vm
+  | vms ->
+      (* One machine, one hypervisor per crosscheck run. *)
+      failwith
+        (Printf.sprintf "Stat_report.crosscheck: %d accounting rows"
+           (List.length vms))
+
+let exit_count vm reason =
+  match
+    List.find_opt (fun (r, _, _) -> r = reason) vm.Accounting.exits
+  with
+  | Some (_, n, _) -> n
+  | None -> 0
+
+let exit_latency_mean vm reason =
+  match
+    List.find_opt (fun (r, _, _) -> r = reason) vm.Accounting.exits
+  with
+  | Some (_, _, hist) -> Accounting.mean hist
+  | None -> 0.0
+
+(* Mean duration of the spans named [name] on the cpu track. *)
+let span_mean events name =
+  let sum = ref 0 and n = ref 0 in
+  List.iter
+    (fun (e : Span.event) ->
+      match e.Span.kind with
+      | Span.Complete dur when e.Span.name = name ->
+          sum := !sum + dur;
+          incr n
+      | _ -> ())
+    events;
+  if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n
+
+(* --- the crosscheck ------------------------------------------------ *)
+
+let fi = float_of_int
+
+let crosscheck ?(iterations = 8) () =
+  if iterations < 1 then invalid_arg "Stat_report.crosscheck: iterations < 1";
+  List.concat_map
+    (fun me ->
+      let model = me.label in
+      (* Exit-mix checks over the full Table I suite. *)
+      let suite_events =
+        traced_run
+          (Platform.hypervisor me.platform me.hyp_id)
+          (full_suite ~iterations)
+      in
+      let suite = accounting_of_events ~label:model suite_events in
+      let vm = vm_of suite in
+      let count name reason expected =
+        {
+          model;
+          name;
+          measured = fi (exit_count vm reason);
+          expected = fi (expected * iterations);
+          tolerance_pct = 0.0;
+        }
+      in
+      let mix_checks =
+        [
+          count "exits/hvc per suite" "hvc" me.mix.hvc;
+          count "exits/dabt per suite" "dabt" me.mix.dabt;
+          count "exits/irq per suite" "irq" me.mix.irq;
+          {
+            model;
+            name = "entries per suite";
+            measured = fi vm.Accounting.entries;
+            expected = fi (me.mix.entries * iterations);
+            tolerance_pct = 0.0;
+          };
+        ]
+      in
+      (* Hypercall latency over a hypercall-only run, so no other path
+         can contribute hvc samples. *)
+      let hc_events =
+        traced_run
+          (Platform.hypervisor me.platform me.hyp_id)
+          (hypercall_only ~iterations)
+      in
+      let hc = accounting_of_events ~label:model hc_events in
+      let hc_vm = vm_of hc in
+      let lat_checks =
+        {
+          model;
+          name = "hypercall exit->entry vs path costs";
+          measured = exit_latency_mean hc_vm "hvc";
+          expected = fi me.hypercall_lat;
+          tolerance_pct = 1.0;
+        }
+        ::
+        (match me.paper_hypercall with
+        | None -> []
+        | Some paper ->
+            [
+              {
+                model;
+                name = "hypercall total vs paper Table II";
+                measured = exit_latency_mean hc_vm "hvc" +. fi me.guest_issue;
+                expected = fi paper;
+                tolerance_pct = 5.0;
+              };
+            ])
+      in
+      (* Table III reconstruction: only the split-mode ARM world switch
+         plays back the full register-class sequence. *)
+      let table3_checks =
+        if me.label <> "KVM ARM" then []
+        else
+          List.concat_map
+            (fun cls ->
+              let costs = arm.Cost_model.reg cls in
+              let cls_name = Reg_class.to_string cls in
+              [
+                {
+                  model;
+                  name = Printf.sprintf "Table III save %s" cls_name;
+                  measured = span_mean hc_events ("arm.save." ^ cls_name);
+                  expected = fi costs.Cost_model.save;
+                  tolerance_pct = 1.0;
+                };
+                {
+                  model;
+                  name = Printf.sprintf "Table III restore %s" cls_name;
+                  measured = span_mean hc_events ("arm.restore." ^ cls_name);
+                  expected = fi costs.Cost_model.restore;
+                  tolerance_pct = 1.0;
+                };
+              ])
+            Reg_class.full_world_switch
+      in
+      mix_checks @ lat_checks @ table3_checks)
+    models
+
+let pp_checks ppf checks =
+  let ok, bad = List.partition check_ok checks in
+  let line c =
+    Format.fprintf ppf "%-6s %-14s %-40s %12.1f %12.1f (tol %.0f%%)@\n"
+      (if check_ok c then "ok" else "FAIL")
+      c.model c.name c.measured c.expected c.tolerance_pct
+  in
+  Format.fprintf ppf "%-6s %-14s %-40s %12s %12s@\n" "" "model" "check"
+    "measured" "expected";
+  List.iter line ok;
+  List.iter line bad;
+  Format.fprintf ppf "%d/%d checks within tolerance@\n" (List.length ok)
+    (List.length checks)

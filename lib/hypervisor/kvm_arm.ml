@@ -9,6 +9,7 @@ module Distributor = Armvirt_gic.Distributor
 module El2_state = Armvirt_arch.El2_state
 module Esr = Armvirt_arch.Esr
 module Kernel_costs = Armvirt_guest.Kernel_costs
+module Accounting = Armvirt_obs.Accounting
 
 type tuning = {
   lazy_fp : bool;
@@ -115,9 +116,11 @@ let eager_exit_classes t =
     Reg_class.full_world_switch
 
 let exit_to_host ?(pcpu = vcpu0_pcpu) ?(reason = Esr.Hvc64) t =
-  Machine.count t.machine "kvm_arm.exit";
-  (* The lowvisor's first act: decode the syndrome and classify. *)
-  Machine.count t.machine ("kvm_arm.exit." ^ Esr.describe reason);
+  (* The lowvisor's first act: decode the syndrome and classify. The
+     marker label is the kvm_stat-style exit record consumed by
+     Armvirt_obs.Accounting. *)
+  Machine.count t.machine
+    (Accounting.exit_label ~hyp:"kvm_arm" ~reason:(Esr.short_name reason) ~pcpu);
   let w = t.world.(pcpu) in
   El2_state.exit_to_el2 w;
   Arm_ops.trap_to_el2 t.ops;
@@ -138,7 +141,6 @@ let exit_to_host ?(pcpu = vcpu0_pcpu) ?(reason = Esr.Hvc64) t =
 (* Host -> VM: re-arm the virtualization features and restore the VM's
    EL1 world. *)
 let enter_vm ?(pcpu = vcpu0_pcpu) ?(domid = 1) t =
-  Machine.count t.machine "kvm_arm.entry";
   let w = t.world.(pcpu) in
   if vhe t then begin
     Arm_ops.restore_classes t.ops Reg_class.trap_only;
@@ -156,7 +158,10 @@ let enter_vm ?(pcpu = vcpu0_pcpu) ?(domid = 1) t =
     El2_state.load_el1 w (El2_state.Vm domid);
     Arm_ops.eret t.ops;
     El2_state.enter_vm w ~domid
-  end
+  end;
+  (* Marked after the restore path so the exit->entry marker distance is
+     the full world-switch latency, like kvm_entry after vcpu_load. *)
+  Machine.count t.machine (Accounting.entry_label ~hyp:"kvm_arm" ~pcpu ~domid ())
 
 let dispatch_cost t = if vhe t then t.tun.vhe_dispatch else t.tun.host_dispatch
 

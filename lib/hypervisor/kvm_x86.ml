@@ -6,6 +6,8 @@ module Cost_model = Armvirt_arch.Cost_model
 module Apic = Armvirt_gic.Apic
 module Vmx_state = Armvirt_arch.Vmx_state
 module Kernel_costs = Armvirt_guest.Kernel_costs
+module Esr = Armvirt_arch.Esr
+module Accounting = Armvirt_obs.Accounting
 
 type tuning = {
   dispatch : int;
@@ -70,13 +72,18 @@ let given_vm_running ?(pcpu = vcpu0_pcpu) ?(domid = 1) t =
 let given_vcpu_blocked ?(pcpu = vcpu0_pcpu) ?(domid = 1) t =
   Vmx_state.establish t.world.(pcpu) ~mode:Vmx_state.Root ~vmcs:(Some domid)
 
-let exit_vm ?(pcpu = vcpu0_pcpu) t =
+(* VMCALL is the x86 hypercall; the ARM mnemonics double as generic
+   exit reasons in the marker labels (mli note in Esr). *)
+let exit_vm ?(pcpu = vcpu0_pcpu) ?(reason = Esr.Hvc64) t =
+  Machine.count t.machine
+    (Accounting.exit_label ~hyp:"kvm_x86" ~reason:(Esr.short_name reason) ~pcpu);
   Vmx_state.vmexit t.world.(pcpu);
   X86_ops.vmexit t.ops
 
 let resume_vm ?(pcpu = vcpu0_pcpu) t =
   X86_ops.vmentry t.ops;
-  Vmx_state.vmentry t.world.(pcpu)
+  Vmx_state.vmentry t.world.(pcpu);
+  Machine.count t.machine (Accounting.entry_label ~hyp:"kvm_x86" ~pcpu ())
 
 let hypercall t =
   Machine.count t.machine "kvm_x86.hypercall";
@@ -89,20 +96,28 @@ let hypercall t =
 let interrupt_controller_trap t =
   Machine.count t.machine "kvm_x86.ict";
   given_vm_running t;
-  exit_vm t;
+  exit_vm ~reason:Esr.Data_abort_lower t (* APIC MMIO write *);
   spend t "kvm_x86.apic_emulate" t.tun.apic_mmio_emulate;
   resume_vm t
 
 let virtual_irq_completion t =
   Machine.count t.machine "kvm_x86.virq_completion";
-  (* Pre-vAPIC hardware: the EOI write traps. *)
-  X86_ops.eoi t.ops
+  let hw = X86_ops.hw t.ops in
+  if hw.Cost_model.vapic then X86_ops.eoi t.ops
+  else begin
+    (* Pre-vAPIC hardware: the EOI write traps like any APIC MMIO, so
+       it is a marked exit/entry pair (same spends as X86_ops.eoi). *)
+    given_vm_running t;
+    exit_vm ~reason:Esr.Data_abort_lower t;
+    spend t "x86.eoi_emul" hw.Cost_model.eoi_emul;
+    resume_vm t
+  end
 
 let vm_switch t =
   Machine.count t.machine "kvm_x86.vm_switch";
   given_vm_running t;
   let w = t.world.(vcpu0_pcpu) in
-  exit_vm t;
+  exit_vm ~reason:Esr.Irq t (* the scheduler tick preempts *);
   spend t "kvm_x86.process_switch" t.tun.process_switch;
   (* The other QEMU process vmptrld's its own VMCS. *)
   Vmx_state.vmclear w;
@@ -114,11 +129,11 @@ let virtual_ipi t =
   given_vm_running t;
   given_vm_running ~pcpu:5 t;
   let start = Sim.current_time () in
-  exit_vm t;
+  exit_vm ~reason:Esr.Data_abort_lower t (* APIC ICR write *);
   spend t "kvm_x86.icr_emulate" t.tun.icr_emulate;
   Apic.fire t.apic ~vector:64;
   let receiver () =
-    exit_vm ~pcpu:5 t;
+    exit_vm ~pcpu:5 ~reason:Esr.Irq t;
     spend t "kvm_x86.irq_inject" t.tun.irq_inject;
     ignore (Apic.acknowledge t.apic);
     resume_vm ~pcpu:5 t;
@@ -139,7 +154,7 @@ let io_latency_out t =
   Machine.count t.machine "kvm_x86.io_out";
   given_vm_running t;
   let start = Sim.current_time () in
-  exit_vm t;
+  exit_vm ~reason:Esr.Data_abort_lower t (* virtqueue kick MMIO *);
   spend t "kvm_x86.kick_dispatch" t.tun.kick_dispatch;
   let latency = Cycles.sub (Sim.current_time ()) start in
   resume_vm t;

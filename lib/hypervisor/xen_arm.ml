@@ -9,6 +9,8 @@ module Distributor = Armvirt_gic.Distributor
 module El2_state = Armvirt_arch.El2_state
 module Event_channel = Armvirt_io.Event_channel
 module Kernel_costs = Armvirt_guest.Kernel_costs
+module Esr = Armvirt_arch.Esr
+module Accounting = Armvirt_obs.Accounting
 
 type pinning = Separate | Shared
 
@@ -115,8 +117,15 @@ let given_vm_running t ~pcpu ~domid =
     ~executing:(`Vm domid)
 let spend t label cycles = Machine.spend t.machine label cycles
 
-let trap_to_xen ?(pcpu = 4) t =
-  Machine.count t.machine "xen_arm.trap";
+let mark_exit t ~pcpu reason =
+  Machine.count t.machine
+    (Accounting.exit_label ~hyp:"xen_arm" ~reason:(Esr.short_name reason) ~pcpu)
+
+let mark_entry t ~pcpu ~domid =
+  Machine.count t.machine (Accounting.entry_label ~hyp:"xen_arm" ~pcpu ~domid ())
+
+let trap_to_xen ?(pcpu = 4) ?(reason = Esr.Hvc64) t =
+  mark_exit t ~pcpu reason;
   El2_state.exit_to_el2 t.world.(pcpu);
   Arm_ops.trap_to_el2 t.ops;
   spend t "xen_arm.trap_save" t.tun.trap_save
@@ -124,7 +133,8 @@ let trap_to_xen ?(pcpu = 4) t =
 let return_from_xen ?(pcpu = 4) ?(domid = 1) t =
   spend t "xen_arm.trap_restore" t.tun.trap_restore;
   Arm_ops.eret t.ops;
-  El2_state.enter_vm t.world.(pcpu) ~domid
+  El2_state.enter_vm t.world.(pcpu) ~domid;
+  mark_entry t ~pcpu ~domid
 
 (* Deschedule the current domain, pick another, run it: one full EL1 +
    VGIC context switch — the only case where Xen pays Table III-scale
@@ -156,7 +166,7 @@ let interrupt_controller_trap t =
   Machine.count t.machine "xen_arm.ict";
   let pcpu = domu_pcpu t in
   given_vm_running t ~pcpu ~domid:1;
-  trap_to_xen ~pcpu t;
+  trap_to_xen ~pcpu ~reason:Esr.Data_abort_lower t;
   Arm_ops.mmio_decode t.ops;
   spend t "xen_arm.gic_mmio_emulate" t.tun.gic_mmio_emulate;
   return_from_xen ~pcpu t
@@ -169,11 +179,13 @@ let vm_switch t =
   Machine.count t.machine "xen_arm.vm_switch";
   let pcpu = domu_pcpu t in
   given_vm_running t ~pcpu ~domid:1;
+  mark_exit t ~pcpu Esr.Irq (* the scheduler tick preempts *);
   El2_state.exit_to_el2 t.world.(pcpu);
   Arm_ops.trap_to_el2 t.ops;
   full_vm_switch ~pcpu ~to_domid:2 t;
   Arm_ops.eret t.ops;
-  El2_state.enter_vm t.world.(pcpu) ~domid:2
+  El2_state.enter_vm t.world.(pcpu) ~domid:2;
+  mark_entry t ~pcpu ~domid:2
 
 (* Both VCPUs execute VM code; the whole exchange stays in EL2 on both
    sides — roughly twice as fast as KVM's host-mediated version. *)
@@ -184,14 +196,14 @@ let virtual_ipi t =
   given_vm_running t ~pcpu ~domid:1;
   given_vm_running t ~pcpu:peer ~domid:1;
   let start = Sim.current_time () in
-  trap_to_xen ~pcpu t;
+  trap_to_xen ~pcpu ~reason:Esr.Data_abort_lower t (* GICD_SGIR write *);
   spend t "xen_arm.sgi_emulate" t.tun.sgi_emulate;
   Distributor.send_sgi t.phys_gic 1 ~from:pcpu ~targets:[ peer ];
   let receiver () =
     (match Distributor.acknowledge t.phys_gic ~cpu:peer with
     | Some 1 -> ()
     | Some _ | None -> failwith "Xen_arm: spurious physical interrupt");
-    trap_to_xen ~pcpu:peer t;
+    trap_to_xen ~pcpu:peer ~reason:Esr.Irq t;
     spend t "xen_arm.irq_route" t.tun.irq_route;
     Distributor.end_of_interrupt t.phys_gic 1 ~cpu:peer;
     inject_virq t (Vm.vcpu t.domu 1) 1;
@@ -227,6 +239,7 @@ let io_latency_out t =
   spend t "xen_arm.evtchn_send" t.tun.evtchn_send;
   Event_channel.send t.channels t.io_port;
   let dom0_side ~on =
+    mark_exit t ~pcpu:on Esr.Irq (* event-channel IPI lands in EL2 *);
     El2_state.exit_to_el2 t.world.(on);
     Arm_ops.trap_to_el2 t.ops;
     (* idle domain -> Dom0 *)
@@ -234,6 +247,7 @@ let io_latency_out t =
     inject_virq t (Vm.vcpu t.dom0 0) 17;
     Arm_ops.eret t.ops;
     El2_state.enter_vm t.world.(on) ~domid:0;
+    mark_entry t ~pcpu:on ~domid:0;
     Arm_ops.virq_guest_dispatch t.ops;
     ignore (Event_channel.consume t.channels t.io_port);
     spend t "xen_arm.dom0_upcall" t.tun.dom0_upcall
@@ -268,6 +282,7 @@ let io_latency_in t =
   spend t "xen_arm.evtchn_send" t.tun.evtchn_send;
   Event_channel.send t.channels t.irq_port;
   let domu_side ~on =
+    mark_exit t ~pcpu:on Esr.Irq (* event-channel IPI lands in EL2 *);
     El2_state.exit_to_el2 t.world.(on);
     Arm_ops.trap_to_el2 t.ops;
     (* idle domain -> DomU *)
@@ -275,6 +290,7 @@ let io_latency_in t =
     inject_virq t (Vm.vcpu t.domu 0) 48;
     Arm_ops.eret t.ops;
     El2_state.enter_vm t.world.(on) ~domid:1;
+    mark_entry t ~pcpu:on ~domid:1;
     ignore (Event_channel.consume t.channels t.irq_port);
     Arm_ops.virq_guest_dispatch t.ops
   in

@@ -76,9 +76,11 @@ val world : t -> pcpu:int -> Armvirt_arch.El2_state.t
 
 (** {1 Paths} — must run inside a simulation process. *)
 
-val trap_to_xen : ?pcpu:int -> t -> unit
+val trap_to_xen :
+  ?pcpu:int -> ?reason:Armvirt_arch.Esr.exception_class -> t -> unit
 (** VM → EL2: trap + lazy GP spill. The fast path the paper credits ARM
-    for. [pcpu] defaults to DomU VCPU0's PCPU. *)
+    for. [pcpu] defaults to DomU VCPU0's PCPU; [reason] (default HVC)
+    is the syndrome class recorded in the exit-marker counter. *)
 
 val return_from_xen : ?pcpu:int -> ?domid:int -> t -> unit
 

@@ -6,6 +6,8 @@ module Cost_model = Armvirt_arch.Cost_model
 module Event_channel = Armvirt_io.Event_channel
 module Vmx_state = Armvirt_arch.Vmx_state
 module Kernel_costs = Armvirt_guest.Kernel_costs
+module Esr = Armvirt_arch.Esr
+module Accounting = Armvirt_obs.Accounting
 
 type tuning = {
   dispatch : int;
@@ -94,13 +96,18 @@ let given_domu_blocked ?(pcpu = domu_pcpu) t =
      and the VMCS has been cleared. *)
   Vmx_state.establish t.world.(pcpu) ~mode:Vmx_state.Root ~vmcs:None
 
-let exit_vm ?(pcpu = domu_pcpu) t =
+(* Only HVM DomU transitions are marked: PV Dom0 never leaves root
+   mode, so its traps are plain spends, matching real kvm_stat scope. *)
+let exit_vm ?(pcpu = domu_pcpu) ?(reason = Esr.Hvc64) t =
+  Machine.count t.machine
+    (Accounting.exit_label ~hyp:"xen_x86" ~reason:(Esr.short_name reason) ~pcpu);
   Vmx_state.vmexit t.world.(pcpu);
   X86_ops.vmexit t.ops
 
 let resume_vm ?(pcpu = domu_pcpu) t =
   X86_ops.vmentry t.ops;
-  Vmx_state.vmentry t.world.(pcpu)
+  Vmx_state.vmentry t.world.(pcpu);
+  Machine.count t.machine (Accounting.entry_label ~hyp:"xen_x86" ~pcpu ())
 
 let hypercall t =
   Machine.count t.machine "xen_x86.hypercall";
@@ -113,7 +120,7 @@ let hypercall t =
 let interrupt_controller_trap t =
   Machine.count t.machine "xen_x86.ict";
   given_vm_running t;
-  exit_vm t;
+  exit_vm ~reason:Esr.Data_abort_lower t (* APIC MMIO write *);
   spend t "xen_x86.apic_emulate" t.tun.apic_mmio_emulate;
   resume_vm t
 
@@ -124,7 +131,7 @@ let virtual_irq_completion t =
     (* Hardware completion, like ARM's virtual CPU interface. *)
     spend t "xen_x86.eoi_vapic" 71
   else begin
-    exit_vm t;
+    exit_vm ~reason:Esr.Data_abort_lower t (* EOI register write *);
     spend t "xen_x86.eoi_emul" t.tun.eoi_emul;
     resume_vm t
   end
@@ -133,7 +140,7 @@ let vm_switch t =
   Machine.count t.machine "xen_x86.vm_switch";
   given_vm_running t;
   let w = t.world.(domu_pcpu) in
-  exit_vm t;
+  exit_vm ~reason:Esr.Irq t (* the scheduler tick preempts *);
   spend t "xen_x86.sched_switch" t.tun.sched_switch;
   Vmx_state.vmclear w;
   Vmx_state.vmptrld w ~domid:2;
@@ -144,10 +151,10 @@ let virtual_ipi t =
   given_vm_running t;
   given_vm_running ~pcpu:5 t;
   let start = Sim.current_time () in
-  exit_vm t;
+  exit_vm ~reason:Esr.Data_abort_lower t (* APIC ICR write *);
   spend t "xen_x86.icr_emulate" t.tun.icr_emulate;
   let receiver () =
-    exit_vm ~pcpu:5 t;
+    exit_vm ~pcpu:5 ~reason:Esr.Irq t;
     spend t "xen_x86.irq_inject" t.tun.irq_inject;
     resume_vm ~pcpu:5 t;
     X86_ops.virq_guest_dispatch t.ops
@@ -166,7 +173,7 @@ let io_latency_out t =
   Machine.count t.machine "xen_x86.io_out";
   given_vm_running t;
   let start = Sim.current_time () in
-  exit_vm t;
+  exit_vm ~reason:Esr.Hvc64 t (* evtchn_send hypercall *);
   spend t "xen_x86.evtchn_send" t.tun.evtchn_send;
   Event_channel.send t.channels t.io_port;
   let dom0_side () =

@@ -87,8 +87,11 @@ let chrome ppf processes =
     processes;
   Format.fprintf ppf "@.],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"simulated cycles (1 exported us = 1 cycle)\"}}@."
 
+(* RFC 4180: quote a field containing a comma, quote, LF or CR, doubling
+   embedded quotes. CR matters: a label with an embedded "\r\n" written
+   unquoted splits the row on Windows-style readers. *)
 let escape_csv s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 

@@ -1,0 +1,531 @@
+(* Renderers and diff for exit-accounting reports. Deterministic by
+   construction: Accounting.t is already ordered, floats print with
+   fixed precision, and nothing here consults clocks or hash order. *)
+
+type options = { per_vcpu : bool; top : int }
+
+let default_options = { per_vcpu = false; top = 0 }
+
+let take n l =
+  if n <= 0 then l
+  else
+    let rec go i = function
+      | [] -> []
+      | x :: tl -> if i >= n then [] else x :: go (i + 1) tl
+    in
+    go 0 l
+
+let pct part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+(* --- text ------------------------------------------------------------ *)
+
+let pp_hist_cells ppf (h : Accounting.hist) =
+  if h.Accounting.count = 0 then
+    Format.fprintf ppf "%10s %10s %10s %10s" "-" "-" "-" "-"
+  else
+    Format.fprintf ppf "%10d %10.1f %10d %10d" h.Accounting.min
+      (Accounting.mean h) h.Accounting.max h.Accounting.count
+
+let pp_exit_rows ppf ~indent ~total rows =
+  List.iter
+    (fun (reason, count, hist) ->
+      Format.fprintf ppf "%s%-10s %8d %7.1f%% %a@," indent reason count
+        (pct count total) pp_hist_cells hist)
+    rows
+
+let render_text ?(opts = default_options) ~context ppf (t : Accounting.t) =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "exit accounting: %s@," context;
+  Format.fprintf ppf "%d vm(s), %d exits, guest %d / hypervisor %d cycles@,@,"
+    (List.length t.Accounting.vms)
+    t.Accounting.total_exits t.Accounting.total_guest t.Accounting.total_hyp;
+  List.iter
+    (fun (v : Accounting.vm_stats) ->
+      Format.fprintf ppf "vm %s/%s hyp=%s@," v.Accounting.cell
+        v.Accounting.machine v.Accounting.hyp;
+      let vm_exits = List.fold_left (fun s (_, c, _) -> s + c) 0 v.Accounting.exits in
+      if v.Accounting.exits <> [] then begin
+        Format.fprintf ppf "  %-10s %8s %8s %10s %10s %10s %10s@," "reason"
+          "exits" "%exits" "lat_min" "lat_mean" "lat_max" "samples";
+        pp_exit_rows ppf ~indent:"  " ~total:vm_exits
+          (take opts.top v.Accounting.exits);
+        if opts.per_vcpu then
+          List.iter
+            (fun (pcpu, rows) ->
+              Format.fprintf ppf "  pcpu %d:@," pcpu;
+              pp_exit_rows ppf ~indent:"    " ~total:vm_exits
+                (take opts.top rows))
+            v.Accounting.exits_per_pcpu
+      end;
+      if vm_exits > 0 || v.Accounting.entries > 0 then
+        Format.fprintf ppf "  exits %d, entries %d@," vm_exits
+          v.Accounting.entries;
+      if v.Accounting.ops <> [] then begin
+        Format.fprintf ppf "  ops:";
+        List.iter
+          (fun (op, n) -> Format.fprintf ppf " %s=%d" op n)
+          v.Accounting.ops;
+        Format.fprintf ppf "@,"
+      end;
+      let total_cycles = v.Accounting.guest_cycles + v.Accounting.hyp_cycles in
+      Format.fprintf ppf
+        "  attribution: guest %d (%.1f%%), hypervisor %d (%.1f%%)@,@,"
+        v.Accounting.guest_cycles
+        (pct v.Accounting.guest_cycles total_cycles)
+        v.Accounting.hyp_cycles
+        (pct v.Accounting.hyp_cycles total_cycles))
+    t.Accounting.vms;
+  Format.fprintf ppf "@]@."
+
+(* --- csv ------------------------------------------------------------- *)
+
+let csv_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv ?(opts = default_options) ~context:_ ppf (t : Accounting.t) =
+  Format.fprintf ppf
+    "kind,cell,machine,hyp,pcpu,name,count,lat_count,lat_sum,lat_min,lat_max@.";
+  let row kind (v : Accounting.vm_stats) ~pcpu ~name ~count
+      (hist : Accounting.hist option) =
+    let h_cells =
+      match hist with
+      | None -> ",,,"
+      | Some h ->
+          Printf.sprintf "%d,%d,%d,%d" h.Accounting.count h.Accounting.sum
+            h.Accounting.min h.Accounting.max
+    in
+    Format.fprintf ppf "%s,%s,%s,%s,%s,%s,%d,%s@." kind
+      (csv_field v.Accounting.cell)
+      (csv_field v.Accounting.machine)
+      (csv_field v.Accounting.hyp)
+      pcpu (csv_field name) count h_cells
+  in
+  List.iter
+    (fun (v : Accounting.vm_stats) ->
+      List.iter
+        (fun (reason, count, hist) ->
+          row "exit" v ~pcpu:"all" ~name:reason ~count (Some hist))
+        (take opts.top v.Accounting.exits);
+      if opts.per_vcpu then
+        List.iter
+          (fun (pcpu, rows) ->
+            List.iter
+              (fun (reason, count, hist) ->
+                row "exit" v ~pcpu:(string_of_int pcpu) ~name:reason ~count
+                  (Some hist))
+              (take opts.top rows))
+          v.Accounting.exits_per_pcpu;
+      List.iter
+        (fun (op, n) -> row "op" v ~pcpu:"all" ~name:op ~count:n None)
+        v.Accounting.ops;
+      row "attribution" v ~pcpu:"all" ~name:"guest"
+        ~count:v.Accounting.guest_cycles None;
+      row "attribution" v ~pcpu:"all" ~name:"hypervisor"
+        ~count:v.Accounting.hyp_cycles None)
+    t.Accounting.vms
+
+(* --- json ------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json_hist ppf (h : Accounting.hist) =
+  Format.fprintf ppf
+    "{\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": [%s]}"
+    h.Accounting.count h.Accounting.sum h.Accounting.min h.Accounting.max
+    (String.concat ", "
+       (List.map
+          (fun (b, n) -> Printf.sprintf "[%d, %d]" b n)
+          h.Accounting.buckets))
+
+let pp_json_exits ppf rows =
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i (reason, count, hist) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "{\"reason\": \"%s\", \"count\": %d, \"latency\": %a}"
+        (json_escape reason) count pp_json_hist hist)
+    rows;
+  Format.fprintf ppf "]"
+
+let render_json ?(opts = default_options) ~context ppf (t : Accounting.t) =
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf "  \"schema\": \"armvirt.stat/v1\",@.";
+  Format.fprintf ppf "  \"context\": \"%s\",@." (json_escape context);
+  Format.fprintf ppf "  \"vms\": [";
+  List.iteri
+    (fun i (v : Accounting.vm_stats) ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@.    {\"cell\": \"%s\", \"machine\": \"%s\", \"hyp\": \"%s\",@."
+        (json_escape v.Accounting.cell)
+        (json_escape v.Accounting.machine)
+        (json_escape v.Accounting.hyp);
+      Format.fprintf ppf "     \"entries\": %d,@." v.Accounting.entries;
+      Format.fprintf ppf "     \"exits\": %a,@." pp_json_exits
+        (take opts.top v.Accounting.exits);
+      if opts.per_vcpu then begin
+        Format.fprintf ppf "     \"per_pcpu\": [";
+        List.iteri
+          (fun j (pcpu, rows) ->
+            if j > 0 then Format.fprintf ppf ", ";
+            Format.fprintf ppf "{\"pcpu\": %d, \"exits\": %a}" pcpu
+              pp_json_exits (take opts.top rows))
+          v.Accounting.exits_per_pcpu;
+        Format.fprintf ppf "],@."
+      end;
+      Format.fprintf ppf "     \"ops\": [%s],@."
+        (String.concat ", "
+           (List.map
+              (fun (op, n) ->
+                Printf.sprintf "{\"op\": \"%s\", \"count\": %d}"
+                  (json_escape op) n)
+              v.Accounting.ops));
+      Format.fprintf ppf
+        "     \"attribution\": {\"guest\": %d, \"hypervisor\": %d}}"
+        v.Accounting.guest_cycles v.Accounting.hyp_cycles)
+    t.Accounting.vms;
+  Format.fprintf ppf "@.  ],@.";
+  Format.fprintf ppf
+    "  \"totals\": {\"guest\": %d, \"hypervisor\": %d, \"exits\": %d}@."
+    t.Accounting.total_guest t.Accounting.total_hyp t.Accounting.total_exits;
+  Format.fprintf ppf "}@."
+
+(* --- minimal JSON parser --------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let w = String.length word in
+    if !pos + w <= n && String.sub s !pos w = word then begin
+      pos := !pos + w;
+      value
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents buf
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* Our own emitter only escapes control characters; decode
+                 the BMP code point as UTF-8. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- diff ------------------------------------------------------------ *)
+
+type thresholds = { count_pct : float; cycles_pct : float }
+
+let default_thresholds = { count_pct = 0.0; cycles_pct = 2.0 }
+
+type finding = {
+  path : string;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;
+}
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let num_member key j =
+  match member key j with Some (Num f) -> Some f | _ -> None
+
+let str_member key j =
+  match member key j with Some (Str s) -> Some s | _ -> None
+
+let arr_member key j =
+  match member key j with Some (Arr l) -> Some l | _ -> None
+
+let delta_pct old_v new_v =
+  let base = Float.max (Float.abs old_v) 1.0 in
+  100.0 *. Float.abs (new_v -. old_v) /. base
+
+let compare_value findings ~threshold ~path old_v new_v =
+  let d = delta_pct old_v new_v in
+  if d > threshold then
+    findings := { path; old_value = old_v; new_value = new_v; delta_pct = d }
+                 :: !findings
+
+let vm_key vm =
+  Printf.sprintf "%s/%s/%s"
+    (Option.value ~default:"?" (str_member "cell" vm))
+    (Option.value ~default:"?" (str_member "machine" vm))
+    (Option.value ~default:"?" (str_member "hyp" vm))
+
+let diff ?(thresholds = default_thresholds) old_doc new_doc =
+  match (parse_json old_doc, parse_json new_doc) with
+  | Error e, _ -> Error (Printf.sprintf "old document: %s" e)
+  | _, Error e -> Error (Printf.sprintf "new document: %s" e)
+  | Ok old_j, Ok new_j -> (
+      match (str_member "schema" old_j, str_member "schema" new_j) with
+      | Some "armvirt.stat/v1", Some "armvirt.stat/v1" ->
+          let findings = ref [] in
+          let counts = thresholds.count_pct in
+          let cycles = thresholds.cycles_pct in
+          let check = compare_value findings in
+          let diff_exits prefix old_exits new_exits =
+            let index l =
+              List.filter_map
+                (fun e -> Option.map (fun r -> (r, e)) (str_member "reason" e))
+                l
+            in
+            let old_i = index old_exits and new_i = index new_exits in
+            let reasons =
+              List.sort_uniq String.compare
+                (List.map fst old_i @ List.map fst new_i)
+            in
+            List.iter
+              (fun reason ->
+                let path field =
+                  Printf.sprintf "%s.exit[%s].%s" prefix reason field
+                in
+                match
+                  (List.assoc_opt reason old_i, List.assoc_opt reason new_i)
+                with
+                | Some o, Some n ->
+                    let get k j = Option.value ~default:0.0 (num_member k j) in
+                    check ~threshold:counts ~path:(path "count") (get "count" o)
+                      (get "count" n);
+                    let lat k j =
+                      match member "latency" j with
+                      | Some h -> Option.value ~default:0.0 (num_member k h)
+                      | None -> 0.0
+                    in
+                    check ~threshold:cycles ~path:(path "latency.sum")
+                      (lat "sum" o) (lat "sum" n)
+                | Some o, None ->
+                    let c = Option.value ~default:0.0 (num_member "count" o) in
+                    check ~threshold:counts ~path:(path "count") c 0.0
+                | None, Some n ->
+                    let c = Option.value ~default:0.0 (num_member "count" n) in
+                    check ~threshold:counts ~path:(path "count") 0.0 c
+                | None, None -> ())
+              reasons
+          in
+          let diff_vm old_vm new_vm =
+            let prefix = Printf.sprintf "vm[%s]" (vm_key old_vm) in
+            let get k j = Option.value ~default:0.0 (num_member k j) in
+            check ~threshold:counts
+              ~path:(prefix ^ ".entries")
+              (get "entries" old_vm) (get "entries" new_vm);
+            diff_exits prefix
+              (Option.value ~default:[] (arr_member "exits" old_vm))
+              (Option.value ~default:[] (arr_member "exits" new_vm));
+            let ops j =
+              List.filter_map
+                (fun o ->
+                  match (str_member "op" o, num_member "count" o) with
+                  | Some op, Some c -> Some (op, c)
+                  | _ -> None)
+                (Option.value ~default:[] (arr_member "ops" j))
+            in
+            let old_ops = ops old_vm and new_ops = ops new_vm in
+            let names =
+              List.sort_uniq String.compare
+                (List.map fst old_ops @ List.map fst new_ops)
+            in
+            List.iter
+              (fun op ->
+                let o = Option.value ~default:0.0 (List.assoc_opt op old_ops) in
+                let n = Option.value ~default:0.0 (List.assoc_opt op new_ops) in
+                check ~threshold:counts
+                  ~path:(Printf.sprintf "%s.op[%s]" prefix op)
+                  o n)
+              names;
+            let attr k j =
+              match member "attribution" j with
+              | Some a -> Option.value ~default:0.0 (num_member k a)
+              | None -> 0.0
+            in
+            check ~threshold:cycles
+              ~path:(prefix ^ ".attribution.guest")
+              (attr "guest" old_vm) (attr "guest" new_vm);
+            check ~threshold:cycles
+              ~path:(prefix ^ ".attribution.hypervisor")
+              (attr "hypervisor" old_vm) (attr "hypervisor" new_vm)
+          in
+          let old_vms = Option.value ~default:[] (arr_member "vms" old_j) in
+          let new_vms = Option.value ~default:[] (arr_member "vms" new_j) in
+          let keyed l = List.map (fun vm -> (vm_key vm, vm)) l in
+          let old_k = keyed old_vms and new_k = keyed new_vms in
+          let keys =
+            List.sort_uniq String.compare (List.map fst old_k @ List.map fst new_k)
+          in
+          List.iter
+            (fun key ->
+              match (List.assoc_opt key old_k, List.assoc_opt key new_k) with
+              | Some o, Some n -> diff_vm o n
+              | Some _, None ->
+                  findings :=
+                    { path = Printf.sprintf "vm[%s]" key; old_value = 1.0;
+                      new_value = 0.0; delta_pct = 100.0 }
+                    :: !findings
+              | None, Some _ ->
+                  findings :=
+                    { path = Printf.sprintf "vm[%s]" key; old_value = 0.0;
+                      new_value = 1.0; delta_pct = 100.0 }
+                    :: !findings
+              | None, None -> ())
+            keys;
+          (match (member "totals" old_j, member "totals" new_j) with
+          | Some ot, Some nt ->
+              List.iter
+                (fun (field, threshold) ->
+                  let get j = Option.value ~default:0.0 (num_member field j) in
+                  compare_value findings ~threshold
+                    ~path:("totals." ^ field) (get ot) (get nt))
+                [ ("guest", cycles); ("hypervisor", cycles); ("exits", counts) ]
+          | _ -> ());
+          Ok (List.rev !findings)
+      | _ -> Error "not an armvirt.stat/v1 document")
+
+let pp_findings ppf findings =
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%s: %g -> %g (%.1f%% delta)@." f.path f.old_value
+        f.new_value f.delta_pct)
+    findings

@@ -561,15 +561,20 @@ let test_bench_events_schema () =
             (Printf.sprintf "contains %s" needle)
             true (contains s needle))
         [
-          "\"schema\": \"armvirt.bench-events/v1\"";
+          "\"schema\": \"armvirt.bench-events/v2\"";
           "\"scale\": 1";
           "\"results\": [";
           "\"engine_micro_geomean_speedup\"";
+          "\"observer_overhead\": [";
+          "\"exit_mix\"";
+          "\"disabled_overhead_pct\"";
+          "\"enabled_overhead_pct\"";
           "\"heap-churn\"";
           "\"delay-churn\"";
           "\"suspend-wake\"";
           "\"resource-contend\"";
           "\"mailbox-pingpong\"";
+          "\"micro-suite\"";
           "\"netperf-rr\"";
           "\"migrate-precopy\"";
         ]

@@ -55,11 +55,20 @@ let test_exit_reason_counters () =
       ignore (H.Kvm_arm.io_latency_out kvm));
   Sim.run (Machine.sim machine);
   let counters = Machine.counters machine in
-  let reason cls = Counter.get counters ("kvm_arm.exit." ^ Esr.describe cls) in
+  (* Exit markers use the Accounting label grammar, keyed per PCPU;
+     all these paths run on VCPU0's PCPU 4. *)
+  let reason cls =
+    Counter.get counters
+      (Armvirt_obs.Accounting.exit_label ~hyp:"kvm_arm"
+         ~reason:(Esr.short_name cls) ~pcpu:4)
+  in
   Alcotest.(check int) "two hypercall exits" 2 (reason Esr.Hvc64);
   Alcotest.(check int) "two MMIO exits (GIC access + kick)" 2
     (reason Esr.Data_abort_lower);
-  Alcotest.(check int) "no IRQ exits in these paths" 0 (reason Esr.Irq)
+  Alcotest.(check int) "no IRQ exits in these paths" 0 (reason Esr.Irq);
+  Alcotest.(check int) "every exit re-entered" 4
+    (Counter.get counters
+       (Armvirt_obs.Accounting.entry_label ~hyp:"kvm_arm" ~pcpu:4 ~domid:1 ()))
 
 let () =
   Alcotest.run "esr"
