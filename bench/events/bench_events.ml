@@ -30,6 +30,7 @@ module Counter = Armvirt_stats.Counter
 module Accounting = Armvirt_obs.Accounting
 module Hypervisor = Armvirt_hypervisor.Hypervisor
 module W = Armvirt_workloads
+module Fleet = Armvirt_fleet
 
 type kind = Engine_micro | Workload
 
@@ -265,6 +266,24 @@ let bench_migrate ~scale () =
   repeat_workload ~name:"migrate-precopy" ~repeats (fun hyp ->
       ignore (W.Migration.run ~plan hyp))
 
+(* Fleet boot-storm on KVM ARM: the quantum-stepped consolidation
+   driver. Unlike the other workloads its event count is small (one
+   engine event per host quantum) while each event does a full
+   schedule-all-PCPUs pass, so events/sec here tracks scheduler pick
+   cost at high VCPU counts, not raw engine dispatch. VM counts stay
+   fixed across scales (64 and 256 are the product points the fleet
+   subsystem is sized for); only repeats grow. *)
+let bench_fleet_boot ~vms ~scale () =
+  let repeats =
+    if scale <= 0 then 1 else (if vms >= 256 then 2 else 8) * scale
+  in
+  let mix = [ (Fleet.Descriptor.synthetic, 1) ] in
+  repeat_workload
+    ~name:(Printf.sprintf "fleet-boot-storm-%d" vms)
+    ~repeats
+    (fun hyp ->
+      ignore (Fleet.Scenario.boot_storm ~seed:42 hyp (Fleet.Descriptor.v ~vms mix)))
+
 (* --- baseline ------------------------------------------------------- *)
 
 (* Pre-PR engine (record-entry heap, list-scan blocked set, Queue/list
@@ -318,6 +337,8 @@ let suite ~scale () =
       bench_micro_suite;
       bench_netperf;
       bench_migrate;
+      bench_fleet_boot ~vms:64;
+      bench_fleet_boot ~vms:256;
     ]
 
 let geomean = function

@@ -9,6 +9,8 @@
      trace         run an experiment under the tracer and export the trace
      explore       sweep or calibrate the design space (lib/explore)
      migrate       live-migrate a loaded VM and report downtime vs the SLO
+     fleet         consolidate N guests on one host: boot-storm, churn,
+                   noisy-neighbor p99 vs fleet size
      bench-events  measure raw engine events/sec and emit BENCH_events.json
      lint          statically check the determinism invariants (lib/lint) *)
 
@@ -22,6 +24,7 @@ module Metrics = Armvirt_obs.Metrics
 module Stat = Armvirt_obs.Stat
 module W = Armvirt_workloads
 module Hypervisor = Armvirt_hypervisor.Hypervisor
+module Fleet = Armvirt_fleet
 
 open Cmdliner
 
@@ -512,10 +515,12 @@ let stat_cmd =
       value & pos_all string []
       & info [] ~docv:"TARGET"
           ~doc:
-            "What to account: any experiment id from `armvirt list`, or \
+            "What to account: any experiment id from `armvirt list`, \
              $(b,rr) / $(b,micro) for the direct workload paths \
-             (honouring $(b,-p)/$(b,-H)). With $(b,--diff), two \
-             armvirt.stat/v1 JSON files (old then new).")
+             (honouring $(b,-p)/$(b,-H)), or $(b,fleet) for a small \
+             traced boot-storm whose entries are domain-tagged. With \
+             $(b,--diff), two armvirt.stat/v1 JSON files (old then \
+             new).")
   in
   let out =
     Arg.(
@@ -537,6 +542,15 @@ let stat_cmd =
       value & flag
       & info [ "per-vcpu" ]
           ~doc:"Break exit rows out per physical CPU (VCPU pinning is 1:1).")
+  in
+  let per_domain =
+    Arg.(
+      value & flag
+      & info [ "per-domain" ]
+          ~doc:
+            "Break entry counts out per guest domain. Only fleet \
+             scenarios tag entries with a domid; on other targets this \
+             adds nothing.")
   in
   let top =
     Arg.(
@@ -602,8 +616,8 @@ let stat_cmd =
   in
   let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
   let read_file path = In_channel.with_open_bin path In_channel.input_all in
-  let run platform hyp jobs iterations format out per_vcpu top diff crosscheck
-      count_pct cycles_pct perturb targets =
+  let run platform hyp jobs iterations format out per_vcpu per_domain top diff
+      crosscheck count_pct cycles_pct perturb targets =
     apply_jobs jobs;
     if diff then (
       match targets with
@@ -665,6 +679,14 @@ let stat_cmd =
               | "rr" ->
                   traced_cell "rr#0.0" (fun () ->
                       ignore (W.Netperf.run_tcp_rr (resolve platform hyp)))
+              | "fleet" ->
+                  traced_cell "fleet#0.0" (fun () ->
+                      let desc =
+                        Fleet.Descriptor.v ~vms:8
+                          [ (Fleet.Descriptor.synthetic, 1) ]
+                      in
+                      ignore
+                        (Fleet.Scenario.boot_storm (resolve platform hyp) desc))
               | id when List.mem_assoc id experiments ->
                   run_experiment null_ppf id
               | other ->
@@ -672,7 +694,7 @@ let stat_cmd =
                     "unknown experiment %S; try `armvirt list`@." other;
                   exit 2);
               let acct = Stat_report.of_session () in
-              let opts = { Stat.per_vcpu; top } in
+              let opts = { Stat.per_vcpu; per_domain; top } in
               let render fmt =
                 (match format with
                 | `Text -> Stat.render_text ~opts ~context:target fmt acct
@@ -701,8 +723,8 @@ let stat_cmd =
           diffing and the trace-vs-analytic crosscheck")
     Term.(
       const run $ platform_arg $ hyp_arg $ jobs_arg $ iterations $ format
-      $ out $ per_vcpu $ top $ diff $ crosscheck $ count_tolerance
-      $ cycles_tolerance $ perturb_vgic_save $ targets)
+      $ out $ per_vcpu $ per_domain $ top $ diff $ crosscheck
+      $ count_tolerance $ cycles_tolerance $ perturb_vgic_save $ targets)
 
 (* --- timeline ------------------------------------------------------------ *)
 
@@ -1112,6 +1134,174 @@ let migrate_cmd =
       $ rate $ bandwidth $ rounds $ downtime $ seed $ compare $ detail
       $ format_arg $ out_arg $ jobs_arg $ trace_file_arg $ stat_file_arg)
 
+(* --- fleet ----------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("boot-storm", `Boot);
+               ("churn", `Churn);
+               ("noisy-neighbor", `Noisy);
+             ])
+          `Boot
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "$(b,boot-storm) (N guests arrive in a window; time to all \
+             ready), $(b,churn) (Poisson arrivals and departures; domid \
+             recycling), or $(b,noisy-neighbor) (victim request p99 vs \
+             fleet size).")
+  in
+  let vms_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "vms" ] ~docv:"N"
+          ~doc:
+            "Fleet size: guests in the boot-storm window / at churn \
+             start / at the largest noisy-neighbor point.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "synthetic"
+      & info [ "profile-mix" ] ~docv:"MIX"
+          ~doc:
+            "Per-VM workload profiles as $(b,name=share) pairs, e.g. \
+             $(b,memcached=2,kernbench=1): any Table IV workload name \
+             or $(b,synthetic). Guests cycle through the mix in \
+             declared proportion.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("md", `Md); ("csv", `Csv) ]) `Md
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"$(b,md) (default) or $(b,csv), one row per cell.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file; $(b,-) (default) is stdout.")
+  in
+  let with_out out f =
+    match out with
+    | "-" ->
+        f Format.std_formatter;
+        Format.pp_print_flush Format.std_formatter ()
+    | path ->
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        f fmt;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path
+  in
+  let f1 = Printf.sprintf "%.1f" in
+  let f3 = Printf.sprintf "%.3f" in
+  let run scenario vms mix_spec format out jobs trace_file stat_file =
+    apply_jobs jobs;
+    let mix =
+      match W.Fleet_profiles.parse_mix mix_spec with
+      | Ok mix -> mix
+      | Error e ->
+          Format.fprintf ppf "invalid --profile-mix: %s@." e;
+          exit 2
+    in
+    (match Fleet.Descriptor.v ~vms mix with
+    | (_ : Fleet.Descriptor.t) -> ()
+    | exception Invalid_argument msg ->
+        Format.fprintf ppf "invalid fleet: %s@." msg;
+        exit 2);
+    with_session ~context:"fleet" ~stat_file ~trace_file ~verbose:false
+    @@ fun () ->
+    let header, rows =
+      match scenario with
+      | `Boot ->
+          let results = Experiment.fleet_boot_storm ~vms ~mix () in
+          ( [
+              "config"; "vms"; "window_ms"; "time_to_ready_ms";
+              "mean_boot_ms"; "p99_boot_ms"; "switches"; "peak_live";
+            ],
+            List.map
+              (fun (name, (r : Fleet.Scenario.boot_storm_result)) ->
+                [
+                  name;
+                  string_of_int r.Fleet.Scenario.vms;
+                  f3 r.Fleet.Scenario.window_ms;
+                  f3 r.Fleet.Scenario.time_to_ready_ms;
+                  f3 r.Fleet.Scenario.mean_boot_ms;
+                  f3 r.Fleet.Scenario.p99_boot_ms;
+                  string_of_int r.Fleet.Scenario.switches;
+                  string_of_int r.Fleet.Scenario.peak_live;
+                ])
+              results )
+      | `Churn ->
+          let results = Experiment.fleet_churn ~vms ~mix () in
+          ( [
+              "config"; "initial_vms"; "arrivals"; "admitted"; "retired";
+              "peak_live"; "domid_reuses"; "drain_ms"; "switches";
+            ],
+            List.map
+              (fun (name, (r : Fleet.Scenario.churn_result)) ->
+                [
+                  name;
+                  string_of_int r.Fleet.Scenario.initial_vms;
+                  string_of_int r.Fleet.Scenario.arrivals;
+                  string_of_int r.Fleet.Scenario.admitted;
+                  string_of_int r.Fleet.Scenario.retired;
+                  string_of_int r.Fleet.Scenario.peak_live;
+                  string_of_int r.Fleet.Scenario.domid_reuses;
+                  f3 r.Fleet.Scenario.drain_ms;
+                  string_of_int r.Fleet.Scenario.switches;
+                ])
+              results )
+      | `Noisy ->
+          (* Powers of two up to --vms, so the table reads as a
+             victim-p99-vs-fleet-size curve per model. *)
+          let sizes =
+            let rec up acc n = if n >= vms then List.rev (vms :: acc)
+              else up (n :: acc) (n * 2)
+            in
+            up [] 1
+          in
+          let results = Experiment.fleet_noisy ~sizes ~mix () in
+          ( [
+              "config"; "vms"; "pcpu_rivals"; "completed"; "mean_us";
+              "p50_us"; "p99_us"; "switches";
+            ],
+            List.map
+              (fun (name, size, (r : Fleet.Scenario.noisy_result)) ->
+                [
+                  name;
+                  string_of_int size;
+                  string_of_int r.Fleet.Scenario.victim_pcpu_rivals;
+                  string_of_int r.Fleet.Scenario.completed;
+                  f1 r.Fleet.Scenario.mean_us;
+                  f1 r.Fleet.Scenario.p50_us;
+                  f1 r.Fleet.Scenario.p99_us;
+                  string_of_int r.Fleet.Scenario.switches;
+                ])
+              results )
+    in
+    with_out out (fun out_ppf ->
+        match format with
+        | `Csv -> Report.pp_csv_table out_ppf ~header rows
+        | `Md -> Report.pp_markdown_table out_ppf ~header rows)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Dense multi-VM consolidation on one host: boot-storms, \
+          arrival/departure churn and noisy-neighbor tail latency at \
+          overcommitted VCPU:PCPU ratios, on every platform/hypervisor \
+          model")
+    Term.(
+      const run $ scenario_arg $ vms_arg $ mix_arg $ format_arg $ out_arg
+      $ jobs_arg $ trace_file_arg $ stat_file_arg)
+
 (* --- bench-events ---------------------------------------------------------- *)
 
 module Bench_events = Armvirt_bench_events.Bench_events
@@ -1208,6 +1398,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
-            stat_cmd; timeline_cmd; explore_cmd; migrate_cmd;
+            stat_cmd; timeline_cmd; explore_cmd; migrate_cmd; fleet_cmd;
             bench_events_cmd; report_cmd; lint_cmd;
           ]))

@@ -785,6 +785,52 @@ let migrate ?plan () =
       (name, W.Migration.run ?plan (Platform.hypervisor p id)))
     migrate_configs
 
+(* --- fleet --------------------------------------------------------- *)
+
+module Fleet = Armvirt_fleet
+
+let default_fleet_mix = [ (Fleet.Descriptor.synthetic, 1) ]
+
+let fleet_seed p id scenario =
+  cell_seed ~platform:(platform_id p) ~hyp:(hyp_id_string id)
+    ~tuning:("fleet-" ^ scenario) ()
+
+let fleet_boot_storm ?(vms = 64) ?(mix = default_fleet_mix) () =
+  Runner.map
+    (fun (name, p, id) ->
+      let seed = fleet_seed p id "boot-storm" in
+      ( name,
+        Fleet.Scenario.boot_storm ~seed
+          (Platform.hypervisor p id)
+          (Fleet.Descriptor.v ~vms mix) ))
+    migrate_configs
+
+let fleet_churn ?(vms = 32) ?(mix = default_fleet_mix) () =
+  Runner.map
+    (fun (name, p, id) ->
+      let seed = fleet_seed p id "churn" in
+      ( name,
+        Fleet.Scenario.churn ~seed
+          (Platform.hypervisor p id)
+          (Fleet.Descriptor.v ~vms mix) ))
+    migrate_configs
+
+let fleet_noisy ?(sizes = [ 1; 2; 4; 8; 16 ]) ?(mix = default_fleet_mix) () =
+  Runner.map
+    (fun (name, p, id, vms) ->
+      (* The seed deliberately ignores [vms]: every fleet size replays
+         the same victim request stream, so the p99-vs-size curve
+         isolates scheduler interference. *)
+      let seed = fleet_seed p id "noisy" in
+      ( name,
+        vms,
+        Fleet.Scenario.noisy_neighbor ~seed
+          (Platform.hypervisor p id)
+          (Fleet.Descriptor.v ~vms mix) ))
+    (List.concat_map
+       (fun (name, p, id) -> List.map (fun n -> (name, p, id, n)) sizes)
+       migrate_configs)
+
 let lrs () =
   Runner.map
     (fun (name, id) ->

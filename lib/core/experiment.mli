@@ -233,6 +233,36 @@ val migrate :
     VHE < split-mode KVM ARM < Xen x86, while Xen ARM's grant-copy
     transport fails to converge and hits the round cap. *)
 
+val default_fleet_mix : (Armvirt_fleet.Descriptor.profile * int) list
+(** One share of the synthetic profile. *)
+
+val fleet_boot_storm :
+  ?vms:int ->
+  ?mix:(Armvirt_fleet.Descriptor.profile * int) list ->
+  unit ->
+  (string * Armvirt_fleet.Scenario.boot_storm_result) list
+(** Boot-storm the fleet (default 64 guests) on every platform/
+    hypervisor model, one runner cell each, seeded per cell identity so
+    the report is byte-identical at any [--jobs] level. *)
+
+val fleet_churn :
+  ?vms:int ->
+  ?mix:(Armvirt_fleet.Descriptor.profile * int) list ->
+  unit ->
+  (string * Armvirt_fleet.Scenario.churn_result) list
+(** Poisson arrival/departure churn (default 32 initial guests) on
+    every model. *)
+
+val fleet_noisy :
+  ?sizes:int list ->
+  ?mix:(Armvirt_fleet.Descriptor.profile * int) list ->
+  unit ->
+  (string * int * Armvirt_fleet.Scenario.noisy_result) list
+(** Noisy-neighbor victim p99 per (model, fleet size) — default sizes
+    [1; 2; 4; 8; 16]. The scenario seed ignores the fleet size, so
+    within one model the p99 column is monotonically non-decreasing in
+    the size column. *)
+
 type structural_row = {
   st_config : string;
   st_metric : string;

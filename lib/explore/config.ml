@@ -6,6 +6,12 @@ module Plan = Armvirt_migrate.Plan
 
 type hyp_choice = Kvm | Xen | Native
 
+type fleet_cfg = {
+  fleet_vms : int;
+  fleet_vcpus : int;
+  fleet_timeslice_ms : float;
+}
+
 type t = {
   arm : Cost_model.arm;
   tuning : H.Kvm_arm.tuning;
@@ -13,7 +19,10 @@ type t = {
   vhost : bool;
   hyp : hyp_choice;
   migration : Plan.t;
+  fleet : fleet_cfg;
 }
+
+let default_fleet = { fleet_vms = 16; fleet_vcpus = 1; fleet_timeslice_ms = 1.0 }
 
 let default =
   {
@@ -23,6 +32,7 @@ let default =
     vhost = true;
     hyp = Kvm;
     migration = Plan.default;
+    fleet = default_fleet;
   }
 
 let hyp_choice_of_string = function
@@ -71,6 +81,11 @@ let knobs =
                      memory is held constant)");
     ("mig.max_rounds", "pre-copy round cap before forced stop-and-copy");
     ("mig.downtime_us", "downtime SLO driving pre-copy convergence (float)");
+    ("fleet.vms", "guests consolidated on the host for the fleet-* \
+                   objectives (int)");
+    ("fleet.vcpus", "VCPUs per fleet guest (int; 2 at 8 PCPUs is 4x \
+                     overcommit at 16 VMs)");
+    ("fleet.timeslice_ms", "credit-scheduler timeslice in ms (float)");
   ]
 
 let as_int name = function
@@ -169,6 +184,18 @@ let apply t name v =
       mig (fun m -> { m with Plan.max_rounds = as_int name v })
   | "mig.downtime_us" ->
       mig (fun m -> { m with Plan.downtime_target_us = as_float name v })
+  | "fleet.vms" ->
+      let n = as_int name v in
+      if n < 1 then invalid_arg "Config: fleet.vms < 1";
+      { t with fleet = { t.fleet with fleet_vms = n } }
+  | "fleet.vcpus" ->
+      let n = as_int name v in
+      if n < 1 then invalid_arg "Config: fleet.vcpus < 1";
+      { t with fleet = { t.fleet with fleet_vcpus = n } }
+  | "fleet.timeslice_ms" ->
+      let ms = as_float name v in
+      if ms <= 0.0 then invalid_arg "Config: fleet.timeslice_ms <= 0";
+      { t with fleet = { t.fleet with fleet_timeslice_ms = ms } }
   | _ ->
       invalid_arg
         (Printf.sprintf "Config: unknown knob %S (see Config.knobs)" name)

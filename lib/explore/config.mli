@@ -8,6 +8,12 @@
 
 type hyp_choice = Kvm | Xen | Native
 
+type fleet_cfg = {
+  fleet_vms : int;  (** Guests consolidated for the [fleet-*] objectives. *)
+  fleet_vcpus : int;  (** VCPUs per fleet guest. *)
+  fleet_timeslice_ms : float;  (** Credit-scheduler timeslice. *)
+}
+
 type t = {
   arm : Armvirt_arch.Cost_model.arm;
   tuning : Armvirt_hypervisor.Kvm_arm.tuning;
@@ -17,6 +23,9 @@ type t = {
   migration : Armvirt_migrate.Plan.t;
       (** Scenario for the [mig-*] objectives; the [mig.*] knobs edit it
           (page-size edits hold total guest memory constant). *)
+  fleet : fleet_cfg;
+      (** Consolidation scenario for the [fleet-*] objectives; the
+          [fleet.*] knobs edit it. *)
 }
 
 val default : t

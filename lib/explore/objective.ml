@@ -57,6 +57,17 @@ let pct_err ~model ~target = Float.abs (model -. target) /. target *. 100.
 let hypercall_cycles config =
   median_sync (fun h -> h.Hypervisor.hypercall) config
 
+module Fleet = Armvirt_fleet
+
+(* One-profile fleet built from the point's fleet.* knobs. *)
+let fleet_desc (c : Config.t) =
+  let f = c.Config.fleet in
+  Fleet.Descriptor.v ~timeslice_ms:f.Config.fleet_timeslice_ms
+    ~vms:f.Config.fleet_vms
+    [
+      ({ Fleet.Descriptor.synthetic with vcpus = f.Config.fleet_vcpus }, 1);
+    ]
+
 let table2_row name =
   match List.assoc_opt name Paper_data.table2 with
   | Some q -> q
@@ -207,6 +218,32 @@ let all =
         (fun c ->
           (W.Migration.run ~plan:c.Config.migration (Config.hypervisor c))
             .W.Migration.p99_degradation);
+    };
+    {
+      name = "fleet-ready";
+      doc =
+        "boot-storm time to all guests ready at the point's fleet.* \
+         scenario";
+      unit_ = "ms";
+      direction = Min;
+      eval =
+        (fun c ->
+          (Fleet.Scenario.boot_storm ~seed:42 (Config.hypervisor c)
+             (fleet_desc c))
+            .Fleet.Scenario.time_to_ready_ms);
+    };
+    {
+      name = "fleet-p99";
+      doc =
+        "noisy-neighbor victim request p99 at the point's fleet.* \
+         scenario";
+      unit_ = "us";
+      direction = Min;
+      eval =
+        (fun c ->
+          (Fleet.Scenario.noisy_neighbor ~seed:42 (Config.hypervisor c)
+             (fleet_desc c))
+            .Fleet.Scenario.p99_us);
     };
     {
       name = "hypercall-err";

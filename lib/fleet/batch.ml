@@ -1,0 +1,22 @@
+module Credit_sched = Armvirt_hypervisor.Credit_sched
+
+(* The closed-batch consolidation model: [vms] identical CPU-bound
+   guests of [vcpus_per_vm] VCPUs each, VCPU k pinned to PCPU
+   [k mod num_pcpus], all runnable at t = 0, scheduled to completion.
+   This is exactly the setup Oversub used to build by hand; keeping the
+   add/run order identical keeps its report byte-identical. *)
+let run ~num_pcpus ~timeslice_cycles ~switch_cost ~vms ~vcpus_per_vm
+    ~work_per_vcpu =
+  if vms < 1 then invalid_arg "Fleet.Batch.run: vms < 1";
+  if vcpus_per_vm < 1 then invalid_arg "Fleet.Batch.run: vcpus_per_vm < 1";
+  let sched = Credit_sched.create ~num_pcpus ~timeslice_cycles in
+  let work =
+    List.concat_map
+      (fun dom ->
+        List.init vcpus_per_vm (fun index ->
+            let vcpu = { Credit_sched.dom; index } in
+            Credit_sched.add_vcpu sched vcpu ~affinity:(index mod num_pcpus);
+            (vcpu, work_per_vcpu)))
+      (List.init vms Fun.id)
+  in
+  Credit_sched.run_to_completion sched ~work ~switch_cost

@@ -1,0 +1,20 @@
+(** Closed-batch consolidation on the fleet scheduler.
+
+    The simplest fleet shape: N identical CPU-bound guests, all present
+    from t = 0, run to completion. {!Armvirt_workloads.Oversub} reports
+    the paper's VM Switch cost at application level through this
+    entry point. *)
+
+val run :
+  num_pcpus:int ->
+  timeslice_cycles:int ->
+  switch_cost:int ->
+  vms:int ->
+  vcpus_per_vm:int ->
+  work_per_vcpu:int ->
+  int * int
+(** [(makespan_cycles, context_switches)] for [vms] guests whose VCPU
+    [k] is pinned to PCPU [k mod num_pcpus], each burning
+    [work_per_vcpu] cycles, charged [switch_cost] per context switch.
+    Raises [Invalid_argument] on non-positive counts (via
+    {!Armvirt_hypervisor.Credit_sched}). *)

@@ -1,0 +1,85 @@
+(** Fleet scenario engines: boot-storm, churn, noisy-neighbor.
+
+    One simulated host runs the whole fleet: a single driver process
+    steps the {!Armvirt_hypervisor.Credit_sched} scheduler one
+    timeslice quantum at a time across all PCPUs, burning down pooled
+    per-guest work ({!Pool}) and emitting the hypervisor's exit/entry
+    marker grammar on every world switch — entries tagged [d<domid>],
+    so [armvirt stat --per-domain] decomposes the fleet. Every draw
+    comes from a seeded {!Armvirt_engine.Rng}, so results are
+    deterministic and jobs-invariant. *)
+
+type boot_storm_result = {
+  config : string;
+  vms : int;
+  window_ms : float;
+  time_to_ready_ms : float;  (** First arrival to last guest ready. *)
+  mean_boot_ms : float;
+  p99_boot_ms : float;
+  switches : int;
+  peak_live : int;
+}
+
+val boot_storm :
+  ?seed:int ->
+  ?window_ms:float ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  Descriptor.t ->
+  boot_storm_result
+(** [vms] guests arrive uniformly at random inside [window_ms]
+    (default 4 ms) and each burns its profile's [boot_cycles] per VCPU
+    before counting as ready. *)
+
+type churn_result = {
+  config : string;
+  initial_vms : int;
+  arrivals : int;
+  admitted : int;
+  retired : int;
+  peak_live : int;
+  domid_reuses : int;  (** Admissions that recycled a retired domid. *)
+  drain_ms : float;  (** When the last guest departed. *)
+  switches : int;
+}
+
+val churn :
+  ?seed:int ->
+  ?arrivals:int ->
+  ?horizon_ms:float ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  Descriptor.t ->
+  churn_result
+(** The descriptor's [vms] guests start at t = 0; [arrivals] more
+    (default: another [vms]) arrive Poisson over [horizon_ms]
+    (default 24 ms). Guest lifetimes are exponential around the
+    profile's [work_cycles]; departing guests leave the scheduler and
+    return their domid for reuse. *)
+
+type noisy_result = {
+  config : string;
+  vms : int;
+  victim_pcpu_rivals : int;
+      (** Aggressor VCPUs time-sharing the victim's PCPU. *)
+  completed : int;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  switches : int;
+}
+
+val noisy_neighbor :
+  ?seed:int ->
+  ?requests:int ->
+  ?load:float ->
+  Armvirt_hypervisor.Hypervisor.t ->
+  Descriptor.t ->
+  noisy_result
+(** A memcached/TCP_RR victim guest (1 VCPU, PCPU 0, always runnable)
+    serves [requests] open-loop requests at [load] of its dedicated
+    capacity while [vms - 1] CPU-bound aggressors from the descriptor
+    mix fill the host round-robin. Per-request service and delivery
+    costs come from the hypervisor's paper-calibrated
+    {!Armvirt_hypervisor.Io_profile}. The arrival stream depends only
+    on [seed], never on fleet size, so p99 versus [vms] isolates
+    scheduler interference and is monotonically non-decreasing.
+    Raises [Invalid_argument] if [load] is outside (0, 1). *)

@@ -1,7 +1,11 @@
 type vcpu = { dom : int; index : int }
 
+let default_weight = 256
+
 type vstate = {
   affinity : int;
+  weight : int; (* proportional share, 256 = 1.0x *)
+  cap : int; (* percent ceiling per refill interval; 0 = uncapped *)
   mutable credit : int;
   mutable runnable : bool;
   mutable boosted : bool;
@@ -38,15 +42,24 @@ let next_stamp t =
   t.stamp <- t.stamp + 1;
   t.stamp
 
-let add_vcpu t vcpu ~affinity =
+let add_vcpu ?(weight = default_weight) ?(cap = 0) t vcpu ~affinity =
   if affinity < 0 || affinity >= t.num_pcpus then
     invalid_arg "Credit_sched.add_vcpu: affinity out of range";
+  if weight < 1 then invalid_arg "Credit_sched.add_vcpu: weight < 1";
+  if cap < 0 || cap > 100 then
+    invalid_arg "Credit_sched.add_vcpu: cap outside [0, 100]";
   if Hashtbl.mem t.vcpus vcpu then
     invalid_arg "Credit_sched.add_vcpu: duplicate VCPU";
+  let initial =
+    if cap = 0 then t.initial_credit
+    else Stdlib.min t.initial_credit (Stdlib.max 1 (t.initial_credit * cap / 100))
+  in
   Hashtbl.replace t.vcpus vcpu
     {
       affinity;
-      credit = t.initial_credit;
+      weight;
+      cap;
+      credit = initial;
       runnable = false;
       boosted = false;
       enqueued_at = next_stamp t;
@@ -56,6 +69,29 @@ let state t vcpu =
   match Hashtbl.find_opt t.vcpus vcpu with
   | Some s -> s
   | None -> invalid_arg "Credit_sched: unknown VCPU"
+
+let remove_vcpu t vcpu =
+  let s = state t vcpu in
+  Hashtbl.remove t.vcpus vcpu;
+  if t.running.(s.affinity) = Some vcpu then t.running.(s.affinity) <- None
+
+(* A capped VCPU that has burned through its credit is throttled until
+   the next refill (Xen's CSCHED_PRI_IDLE under a cap): it stays
+   runnable but is invisible to [pick]. *)
+let throttled s = s.cap > 0 && s.credit <= 0
+
+(* Exhaustion-path grant: weight-scaled, as the original uniform grant
+   was (weight 256 reproduces it exactly). A capped VCPU's grant and
+   balance are bounded by its cap's share of the initial credit, so
+   overdraft from overrunning a slice carries forward as debt. *)
+let grant t s =
+  if s.cap = 0 then
+    Stdlib.max 1 (t.initial_credit * s.weight / default_weight)
+  else Stdlib.max 1 (t.initial_credit * s.cap / 100)
+
+let ceiling t s =
+  if s.cap = 0 then max_int
+  else Stdlib.max 1 (t.initial_credit * s.cap / 100)
 
 let set_runnable t vcpu runnable =
   let s = state t vcpu in
@@ -69,7 +105,9 @@ let set_runnable t vcpu runnable =
 let candidates t ~pcpu =
   Hashtbl.fold
     (fun vcpu s acc ->
-      if s.runnable && s.affinity = pcpu then (vcpu, s) :: acc else acc)
+      if s.runnable && s.affinity = pcpu && not (throttled s) then
+        (vcpu, s) :: acc
+      else acc)
     t.vcpus []
   |> List.sort (fun ((a : vcpu), _) ((b : vcpu), _) ->
          match Int.compare a.dom b.dom with
@@ -81,6 +119,13 @@ let better (_, a) (_, b) =
   match (a.boosted, b.boosted) with
   | true, false -> true
   | false, true -> false
+  | _ when a.cap > 0 || b.cap > 0 ->
+      (* Across a cap boundary, absolute balances aren't comparable —
+         a capped VCPU's ceiling sits far below its rivals' — so fall
+         back to Xen's class scheduling: in-credit (UNDER) beats
+         out-of-credit (OVER), FIFO within a class. *)
+      let ua = a.credit > 0 and ub = b.credit > 0 in
+      if ua <> ub then ua else a.enqueued_at < b.enqueued_at
   | _ ->
       a.credit > b.credit
       || (a.credit = b.credit && a.enqueued_at < b.enqueued_at)
@@ -119,12 +164,47 @@ let rec refill_if_exhausted t =
     t.vcpus;
   if !any_runnable && not !runnable_with_credit then begin
     t.refill_count <- t.refill_count + 1;
-    (* lint: sorted — uniform credit grant commutes across VCPUs *)
+    (* lint: sorted — weighted credit grant commutes across VCPUs *)
     Hashtbl.iter
-      (fun _ s -> s.credit <- s.credit + t.initial_credit)
+      (fun _ s ->
+        s.credit <- Stdlib.min (ceiling t s) (s.credit + grant t s))
       t.vcpus;
     refill_if_exhausted t
   end
+
+(* Periodic accounting tick (Xen fires this every 30 ms): the [cycles]
+   of PCPU capacity that elapsed since the last tick are distributed
+   among each PCPU's runnable VCPUs in proportion to weight, bounded
+   by each VCPU's cap share of the interval, and clamped at
+   initial_credit so nobody hoards. Because the grant rate equals the
+   burn rate, credits stay balanced: a cap of [c] percent bounds a
+   saturated VCPU to ~[c] percent of its PCPU, and a double-weight
+   VCPU earns — and therefore runs — twice as much. *)
+let periodic_refill t ~cycles =
+  if cycles < 0 then
+    invalid_arg "Credit_sched.periodic_refill: negative cycles";
+  t.refill_count <- t.refill_count + 1;
+  let weight_sum = Array.make t.num_pcpus 0 in
+  (* lint: sorted — weight accumulation commutes across VCPUs *)
+  Hashtbl.iter
+    (fun _ s ->
+      if s.runnable then
+        weight_sum.(s.affinity) <- weight_sum.(s.affinity) + s.weight)
+    t.vcpus;
+  (* lint: sorted — each grant depends only on its VCPU and the sums *)
+  Hashtbl.iter
+    (fun _ s ->
+      if s.runnable && weight_sum.(s.affinity) > 0 then begin
+        let fair = cycles * s.weight / weight_sum.(s.affinity) in
+        let fair =
+          if s.cap = 0 then fair else Stdlib.min fair (cycles * s.cap / 100)
+        in
+        let top =
+          if s.cap = 0 then t.initial_credit else ceiling t s
+        in
+        s.credit <- Stdlib.min top (s.credit + fair)
+      end)
+    t.vcpus
 
 let charge t ~pcpu ~cycles =
   if cycles < 0 then invalid_arg "Credit_sched.charge: negative cycles";

@@ -19,10 +19,25 @@ val create : num_pcpus:int -> timeslice_cycles:int -> t
     check (Xen defaults to 30 ms; experiments use shorter slices).
     Raises [Invalid_argument] on non-positive arguments. *)
 
-val add_vcpu : t -> vcpu -> affinity:int -> unit
+val default_weight : int
+(** The neutral proportional-share weight (256, as in Xen). *)
+
+val add_vcpu : ?weight:int -> ?cap:int -> t -> vcpu -> affinity:int -> unit
 (** Registers a VCPU pinned to one PCPU (the paper's configuration).
-    Raises [Invalid_argument] for an out-of-range PCPU or duplicate
-    VCPU. *)
+    [weight] (default {!default_weight}) scales the VCPU's refill grant
+    proportionally, so a weight-512 VCPU accumulates credit twice as
+    fast as a weight-256 one. [cap] (default 0 = uncapped) is a
+    percent ceiling: a capped VCPU's credit is clamped to
+    [cap/100 * initial_credit] at every refill and the VCPU is
+    throttled — runnable but unschedulable — whenever its credit is
+    exhausted, bounding its PCPU share even when cycles are idle.
+    Raises [Invalid_argument] for an out-of-range PCPU, a weight < 1,
+    a cap outside [0, 100], or a duplicate VCPU. *)
+
+val remove_vcpu : t -> vcpu -> unit
+(** Deregisters a VCPU (a departing guest under churn). If it was the
+    incumbent on its PCPU the slot falls back to idle; the next [pick]
+    records the switch. Raises [Invalid_argument] if unknown. *)
 
 val set_runnable : t -> vcpu -> bool -> unit
 (** Blocking/waking. Waking boosts the VCPU to the front of its
@@ -38,6 +53,17 @@ val pick : t -> pcpu:int -> vcpu option
 val charge : t -> pcpu:int -> cycles:int -> unit
 (** Burns credit on the currently running VCPU. When every runnable
     VCPU in the system is out of credit, credits refill. *)
+
+val periodic_refill : t -> cycles:int -> unit
+(** Xen's periodic accounting tick. [cycles] is the per-PCPU capacity
+    elapsed since the last tick; it is distributed among each PCPU's
+    runnable VCPUs proportionally to weight, bounded by each cap's
+    share of the interval, and clamped at the initial credit to
+    prevent hoarding. Quantum-stepped drivers (see
+    [Armvirt_fleet.Scenario]) call this on a fixed cadence so caps and
+    weights shape throughput even when the work-conserving exhaustion
+    refill never fires. Raises [Invalid_argument] on negative
+    [cycles]. *)
 
 val current : t -> pcpu:int -> vcpu option
 val credit_of : t -> vcpu -> int

@@ -120,6 +120,7 @@ type vm_stats = {
   exits : (string * int * hist) list;
   exits_per_pcpu : (int * (string * int * hist) list) list;
   entries : int;
+  entries_per_domain : (int * int) list;
   ops : (string * int) list;
   guest_cycles : int;
   hyp_cycles : int;
@@ -146,6 +147,8 @@ let machine_of_track track =
 (* Per-(machine) mutable accumulator while scanning one cell. *)
 type macc = {
   mutable m_entries : (string, int ref) Hashtbl.t;  (* hyp -> entries *)
+  dom_entries : (string * int, int ref) Hashtbl.t;
+      (* (hyp, domid) -> entries carrying a d<domid> suffix *)
   exit_counts : (string * string * int, int ref) Hashtbl.t;
       (* (hyp, reason, pcpu) -> count *)
   latencies : (string * string * int, hist_acc) Hashtbl.t;
@@ -159,6 +162,7 @@ type macc = {
 let macc () =
   {
     m_entries = Hashtbl.create 4;
+    dom_entries = Hashtbl.create 16;
     exit_counts = Hashtbl.create 16;
     latencies = Hashtbl.create 16;
     pending = Hashtbl.create 8;
@@ -203,8 +207,11 @@ let scan_cell (p : Export.process) =
                      one: the first never re-entered (e.g. the VCPU
                      blocked), so it contributes no latency sample. *)
                   Hashtbl.replace a.pending (hyp, pcpu) (reason, e.Span.ts)
-              | Some (Entry { hyp; pcpu; domid = _ }) -> (
+              | Some (Entry { hyp; pcpu; domid }) -> (
                   bump a.m_entries hyp;
+                  (match domid with
+                  | Some d -> bump a.dom_entries (hyp, d)
+                  | None -> ());
                   match Hashtbl.find_opt a.pending (hyp, pcpu) with
                   | None -> ()  (* entry without a marked exit: no sample *)
                   | Some (reason, ts0) ->
@@ -307,7 +314,7 @@ let vm_stats_of_cell (p : Export.process) =
         @ Hashtbl.fold (fun h _ l -> h :: l) a.m_entries []
         |> List.sort_uniq String.compare
       in
-      let mk hyp exits exits_per_pcpu entries ops g h =
+      let mk hyp exits exits_per_pcpu entries entries_per_domain ops g h =
         {
           cell = p.Export.name;
           machine = m;
@@ -315,6 +322,7 @@ let vm_stats_of_cell (p : Export.process) =
           exits;
           exits_per_pcpu;
           entries;
+          entries_per_domain;
           ops;
           guest_cycles = g;
           hyp_cycles = h;
@@ -324,7 +332,7 @@ let vm_stats_of_cell (p : Export.process) =
       | [] ->
           (* No markers (e.g. a native run): still report attribution. *)
           if a.g_cycles = 0 && a.h_cycles = 0 then []
-          else [ mk "-" [] [] 0 [] a.g_cycles a.h_cycles ]
+          else [ mk "-" [] [] 0 [] [] a.g_cycles a.h_cycles ]
       | _ ->
           (* Attribute the machine's cycles to its first hypervisor row;
              in practice one machine hosts one hypervisor. *)
@@ -336,6 +344,12 @@ let vm_stats_of_cell (p : Export.process) =
                 | Some r -> !r
                 | None -> 0
               in
+              let entries_per_domain =
+                Hashtbl.fold
+                  (fun (h, d) c l -> if h = hyp then (d, !c) :: l else l)
+                  a.dom_entries []
+                |> List.sort compare
+              in
               let ops =
                 Hashtbl.fold
                   (fun (h, op) c l -> if h = hyp then (op, !c) :: l else l)
@@ -343,7 +357,7 @@ let vm_stats_of_cell (p : Export.process) =
                 |> List.sort compare
               in
               let g, h = if i = 0 then (a.g_cycles, a.h_cycles) else (0, 0) in
-              mk hyp exits per_pcpu entries ops g h)
+              mk hyp exits per_pcpu entries entries_per_domain ops g h)
             hyps)
     machine_ids
 

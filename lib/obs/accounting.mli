@@ -78,6 +78,11 @@ type vm_stats = {
   exits_per_pcpu : (int * (string * int * hist) list) list;
       (** Same, broken out per PCPU, ascending PCPU id. *)
   entries : int;
+  entries_per_domain : (int * int) list;
+      (** [(domid, entries)] from entry markers carrying a [d<domid>]
+          suffix, ascending domid; empty when no marker named a domain.
+          Fleet schedulers tag every entry, so this is the per-guest
+          share of world switches on a consolidated host. *)
   ops : (string * int) list;  (** Operation counts, sorted by name. *)
   guest_cycles : int;
   hyp_cycles : int;

@@ -2,9 +2,9 @@
    construction: Accounting.t is already ordered, floats print with
    fixed precision, and nothing here consults clocks or hash order. *)
 
-type options = { per_vcpu : bool; top : int }
+type options = { per_vcpu : bool; per_domain : bool; top : int }
 
-let default_options = { per_vcpu = false; top = 0 }
+let default_options = { per_vcpu = false; per_domain = false; top = 0 }
 
 let take n l =
   if n <= 0 then l
@@ -61,6 +61,13 @@ let render_text ?(opts = default_options) ~context ppf (t : Accounting.t) =
       if vm_exits > 0 || v.Accounting.entries > 0 then
         Format.fprintf ppf "  exits %d, entries %d@," vm_exits
           v.Accounting.entries;
+      if opts.per_domain && v.Accounting.entries_per_domain <> [] then begin
+        Format.fprintf ppf "  entries by domain:";
+        List.iter
+          (fun (d, n) -> Format.fprintf ppf " d%d=%d" d n)
+          v.Accounting.entries_per_domain;
+        Format.fprintf ppf "@,"
+      end;
       if v.Accounting.ops <> [] then begin
         Format.fprintf ppf "  ops:";
         List.iter
@@ -121,6 +128,12 @@ let render_csv ?(opts = default_options) ~context:_ ppf (t : Accounting.t) =
                   (Some hist))
               (take opts.top rows))
           v.Accounting.exits_per_pcpu;
+      if opts.per_domain then
+        List.iter
+          (fun (d, n) ->
+            row "entry" v ~pcpu:"all" ~name:(Printf.sprintf "d%d" d) ~count:n
+              None)
+          v.Accounting.entries_per_domain;
       List.iter
         (fun (op, n) -> row "op" v ~pcpu:"all" ~name:op ~count:n None)
         v.Accounting.ops;
@@ -180,6 +193,15 @@ let render_json ?(opts = default_options) ~context ppf (t : Accounting.t) =
         (json_escape v.Accounting.machine)
         (json_escape v.Accounting.hyp);
       Format.fprintf ppf "     \"entries\": %d,@." v.Accounting.entries;
+      (* Emitted only on opt-in and when markers named a domain, so the
+         default document stays byte-identical to pre-fleet reports. *)
+      if opts.per_domain && v.Accounting.entries_per_domain <> [] then
+        Format.fprintf ppf "     \"per_domain\": [%s],@."
+          (String.concat ", "
+             (List.map
+                (fun (d, n) ->
+                  Printf.sprintf "{\"domid\": %d, \"entries\": %d}" d n)
+                v.Accounting.entries_per_domain));
       Format.fprintf ppf "     \"exits\": %a,@." pp_json_exits
         (take opts.top v.Accounting.exits);
       if opts.per_vcpu then begin
@@ -452,6 +474,34 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
             check ~threshold:counts
               ~path:(prefix ^ ".entries")
               (get "entries" old_vm) (get "entries" new_vm);
+            (* per_domain is optional (emitted only with --per-domain):
+               diff it only when both sides carry it, so opting in on
+               one side alone is not a regression. *)
+            (match
+               (arr_member "per_domain" old_vm, arr_member "per_domain" new_vm)
+             with
+            | Some old_pd, Some new_pd ->
+                let index l =
+                  List.filter_map
+                    (fun e ->
+                      match (num_member "domid" e, num_member "entries" e) with
+                      | Some d, Some n -> Some (int_of_float d, n)
+                      | _ -> None)
+                    l
+                in
+                let old_i = index old_pd and new_i = index new_pd in
+                let domids =
+                  List.sort_uniq Int.compare
+                    (List.map fst old_i @ List.map fst new_i)
+                in
+                List.iter
+                  (fun d ->
+                    let v i = Option.value ~default:0.0 (List.assoc_opt d i) in
+                    check ~threshold:counts
+                      ~path:(Printf.sprintf "%s.per_domain[d%d].entries" prefix d)
+                      (v old_i) (v new_i))
+                  domids
+            | _ -> ());
             diff_exits prefix
               (Option.value ~default:[] (arr_member "exits" old_vm))
               (Option.value ~default:[] (arr_member "exits" new_vm));

@@ -8,6 +8,10 @@
 
 type options = {
   per_vcpu : bool;  (** Break exit rows out per PCPU. *)
+  per_domain : bool;
+      (** Break entry counts out per guest domain ([d<domid>] entry
+          markers). Off by default; when off, documents are
+          byte-identical to pre-fleet reports. *)
   top : int;  (** Keep only the top-N exit reasons by count; 0 = all. *)
 }
 
@@ -27,9 +31,11 @@ val render_json :
   ?opts:options -> context:string -> Format.formatter -> Accounting.t -> unit
 (** The ["armvirt.stat/v1"] document:
     [{"schema", "context", "vms": [{"cell", "machine", "hyp", "entries",
-    "exits": [{"reason", "count", "latency": {"count", "sum", "min",
-    "max", "buckets": [[bound, n], ...]}}], "per_pcpu", "ops",
-    "attribution": {"guest", "hypervisor"}}], "totals"}]. *)
+    "per_domain": [{"domid", "entries"}, ...], "exits": [{"reason",
+    "count", "latency": {"count", "sum", "min", "max", "buckets":
+    [[bound, n], ...]}}], "per_pcpu", "ops", "attribution": {"guest",
+    "hypervisor"}}], "totals"}]. ["per_domain"] appears only with
+    [opts.per_domain] set and at least one domain-tagged entry. *)
 
 (** {1 JSON parsing and diffing} *)
 

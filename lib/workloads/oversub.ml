@@ -2,7 +2,6 @@ module Sim = Armvirt_engine.Sim
 module Cycles = Armvirt_engine.Cycles
 module Machine = Armvirt_arch.Machine
 module Hypervisor = Armvirt_hypervisor.Hypervisor
-module Credit_sched = Armvirt_hypervisor.Credit_sched
 
 type result = {
   vms : int;
@@ -34,23 +33,11 @@ let run (hyp : Hypervisor.t) ~vms ~timeslice_ms ~work_ms_per_vcpu =
   let freq = Machine.freq_ghz hyp.Hypervisor.machine *. 1e9 in
   let cycles_of_ms ms = int_of_float (ms *. freq /. 1e3) in
   let switch_cost_cycles = vm_switch_cost hyp in
-  let sched =
-    Credit_sched.create ~num_pcpus:guest_pcpus
-      ~timeslice_cycles:(cycles_of_ms timeslice_ms)
-  in
-  let work = cycles_of_ms work_ms_per_vcpu in
-  let jobs =
-    List.concat_map
-      (fun dom ->
-        List.init guest_pcpus (fun index ->
-            let vcpu = { Credit_sched.dom; index } in
-            Credit_sched.add_vcpu sched vcpu ~affinity:index;
-            (vcpu, work)))
-      (List.init vms Fun.id)
-  in
   let makespan_cycles, context_switches =
-    Credit_sched.run_to_completion sched ~work:jobs
-      ~switch_cost:switch_cost_cycles
+    Armvirt_fleet.Batch.run ~num_pcpus:guest_pcpus
+      ~timeslice_cycles:(cycles_of_ms timeslice_ms)
+      ~switch_cost:switch_cost_cycles ~vms ~vcpus_per_vm:guest_pcpus
+      ~work_per_vcpu:(cycles_of_ms work_ms_per_vcpu)
   in
   let to_ms c = float_of_int c /. freq *. 1e3 in
   let ideal_ms = float_of_int vms *. work_ms_per_vcpu in

@@ -1,0 +1,422 @@
+(* lib/fleet: pooled guest state, the quantum-stepped scenario engines
+   (boot-storm / churn / noisy-neighbor), and credit_sched under real
+   overcommit — fairness, caps, weights, and candidate-order
+   determinism. *)
+
+module Pool = Armvirt_fleet.Pool
+module Descriptor = Armvirt_fleet.Descriptor
+module Scenario = Armvirt_fleet.Scenario
+module Batch = Armvirt_fleet.Batch
+module Credit_sched = Armvirt_hypervisor.Credit_sched
+module Platform = Armvirt_core.Platform
+
+let models =
+  [
+    ("KVM ARM (VHE)", Platform.Arm_m400_vhe, Platform.Kvm);
+    ("KVM ARM", Platform.Arm_m400, Platform.Kvm);
+    ("Xen ARM", Platform.Arm_m400, Platform.Xen);
+    ("KVM x86", Platform.X86_r320, Platform.Kvm);
+    ("Xen x86", Platform.X86_r320, Platform.Xen);
+  ]
+
+let kvm_arm () = Platform.hypervisor Platform.Arm_m400 Platform.Kvm
+
+(* --- pool ------------------------------------------------------------ *)
+
+let test_pool_reuse () =
+  let p = Pool.create () in
+  let d0 = Pool.admit p ~profile:0 ~vcpus:1 ~now:0 in
+  let d1 = Pool.admit p ~profile:0 ~vcpus:2 ~now:0 in
+  let d2 = Pool.admit p ~profile:0 ~vcpus:1 ~now:0 in
+  Alcotest.(check (list int)) "sequential domids" [ 0; 1; 2 ] [ d0; d1; d2 ];
+  Pool.retire p d1;
+  Pool.retire p d0;
+  (* Lowest retired domid is recycled first. *)
+  let d3 = Pool.admit p ~profile:1 ~vcpus:4 ~now:9 in
+  Alcotest.(check int) "lowest free reused" 0 d3;
+  let d4 = Pool.admit p ~profile:0 ~vcpus:1 ~now:9 in
+  Alcotest.(check int) "next free reused" 1 d4;
+  Alcotest.(check int) "reuse counted" 2 (Pool.reused p);
+  Alcotest.(check int) "admitted" 5 (Pool.admitted p);
+  Alcotest.(check int) "retired" 2 (Pool.retired p);
+  Alcotest.(check int) "peak live" 3 (Pool.peak_live p);
+  Alcotest.(check int) "high water" 3 (Pool.high_water p);
+  (* The reused slot's work array grew for the 4-VCPU tenancy and was
+     zeroed. *)
+  let s = Pool.slot p d3 in
+  Alcotest.(check int) "vcpus" 4 s.Pool.vcpus;
+  Alcotest.(check bool)
+    "work zeroed" true
+    (Array.for_all (fun w -> w = 0) s.Pool.work);
+  Pool.retire p d4;
+  Alcotest.check_raises "retired domid is dead"
+    (Invalid_argument "Fleet.Pool.slot: not a live domid") (fun () ->
+      ignore (Pool.slot p d4 == s))
+
+let test_pool_retire_dead () =
+  let p = Pool.create () in
+  let d = Pool.admit p ~profile:0 ~vcpus:1 ~now:0 in
+  Pool.retire p d;
+  Alcotest.check_raises "double retire"
+    (Invalid_argument "Fleet.Pool.slot: not a live domid") (fun () ->
+      Pool.retire p d)
+
+(* --- descriptor ------------------------------------------------------ *)
+
+let test_descriptor_mix () =
+  let a = { Descriptor.synthetic with Descriptor.name = "a" } in
+  let b = { Descriptor.synthetic with Descriptor.name = "b" } in
+  let d = Descriptor.v ~vms:8 [ (a, 2); (b, 1) ] in
+  let names = List.init 7 (fun i -> (Descriptor.profile_of d i).Descriptor.name) in
+  Alcotest.(check (list string))
+    "weighted round-robin pattern"
+    [ "a"; "a"; "b"; "a"; "a"; "b"; "a" ]
+    names;
+  Alcotest.(check string) "mix syntax" "a=2,b=1" (Descriptor.mix_to_string d);
+  Alcotest.check_raises "empty mix"
+    (Invalid_argument "Fleet.Descriptor: empty profile mix") (fun () ->
+      ignore (Descriptor.v ~vms:1 []));
+  Alcotest.check_raises "bad cap"
+    (Invalid_argument "Fleet.Descriptor: profile a: cap outside [0, 100]")
+    (fun () ->
+      ignore (Descriptor.v ~vms:1 [ ({ a with Descriptor.cap_pct = 101 }, 1) ]))
+
+(* --- boot-storm ------------------------------------------------------ *)
+
+let storm_desc vms = Descriptor.v ~vms [ (Descriptor.synthetic, 1) ]
+
+let test_boot_storm_smoke () =
+  let r = Scenario.boot_storm (kvm_arm ()) (storm_desc 16) in
+  Alcotest.(check int) "all admitted" 16 r.Scenario.peak_live;
+  Alcotest.(check bool) "ready time positive" true (r.Scenario.time_to_ready_ms > 0.0);
+  Alcotest.(check bool)
+    "boot latency ordering" true
+    (r.Scenario.p99_boot_ms >= r.Scenario.mean_boot_ms);
+  Alcotest.(check bool) "switches happened" true (r.Scenario.switches > 0)
+
+let test_boot_storm_deterministic () =
+  let run () = Scenario.boot_storm ~seed:7 (kvm_arm ()) (storm_desc 64) in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "byte-identical result" true (a = b)
+
+let test_boot_storm_256 () =
+  (* The acceptance-criteria scale: 256 guests on one 8-PCPU host. *)
+  let r = Scenario.boot_storm ~seed:42 (kvm_arm ()) (storm_desc 256) in
+  Alcotest.(check int) "256 admitted" 256 r.Scenario.peak_live;
+  Alcotest.(check bool)
+    "an overcommitted storm is slower than its window" true
+    (r.Scenario.time_to_ready_ms > r.Scenario.window_ms);
+  let r' = Scenario.boot_storm ~seed:42 (kvm_arm ()) (storm_desc 256) in
+  Alcotest.(check bool) "deterministic at 256" true (r = r')
+
+let test_boot_storm_monotone_in_size () =
+  (* More guests on the same host can only push all-ready out. *)
+  let ready n =
+    (Scenario.boot_storm ~seed:3 (kvm_arm ()) (storm_desc n))
+      .Scenario.time_to_ready_ms
+  in
+  let t16 = ready 16 and t64 = ready 64 and t256 = ready 256 in
+  Alcotest.(check bool) "16 <= 64" true (t16 <= t64);
+  Alcotest.(check bool) "64 <= 256" true (t64 <= t256)
+
+(* --- churn ----------------------------------------------------------- *)
+
+let test_churn_smoke () =
+  let r = Scenario.churn ~seed:5 (kvm_arm ()) (storm_desc 16) in
+  Alcotest.(check int) "all admitted" 32 r.Scenario.admitted;
+  Alcotest.(check int) "all retired" 32 r.Scenario.retired;
+  Alcotest.(check bool) "domids recycled" true (r.Scenario.domid_reuses > 0);
+  Alcotest.(check bool)
+    "pool stayed below total admissions" true
+    (r.Scenario.peak_live < 32);
+  Alcotest.(check bool) "drained" true (r.Scenario.drain_ms > 0.0)
+
+let test_churn_deterministic () =
+  let run () = Scenario.churn ~seed:11 (kvm_arm ()) (storm_desc 24) in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "byte-identical result" true (a = b)
+
+(* --- noisy neighbor -------------------------------------------------- *)
+
+let noisy_desc vms =
+  let aggressor =
+    { Descriptor.synthetic with Descriptor.name = "aggressor"; vcpus = 2 }
+  in
+  Descriptor.v ~vms [ (aggressor, 1) ]
+
+let test_noisy_monotone_all_models () =
+  let sizes = [ 1; 2; 4; 8; 16 ] in
+  List.iter
+    (fun (name, platform, id) ->
+      let curve =
+        List.map
+          (fun n ->
+            Scenario.noisy_neighbor ~seed:42
+              (Platform.hypervisor platform id)
+              (noisy_desc n))
+          sizes
+      in
+      List.iter
+        (fun r ->
+          Alcotest.(check int)
+            (name ^ ": all requests completed")
+            400 r.Scenario.completed)
+        curve;
+      let p99s = List.map (fun r -> r.Scenario.p99_us) curve in
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            if a > b +. 1e-9 then
+              Alcotest.failf "%s: p99 decreased %g -> %g (curve %s)" name a b
+                (String.concat ", " (List.map (Printf.sprintf "%.3f") p99s));
+            monotone rest
+        | _ -> ()
+      in
+      monotone p99s;
+      (* The largest fleet must actually interfere. *)
+      let first = List.hd p99s and last = List.nth p99s 4 in
+      if not (last > first) then
+        Alcotest.failf "%s: no interference: p99 %g at 1 VM, %g at 16" name
+          first last)
+    models
+
+let test_noisy_deterministic () =
+  let run () =
+    Scenario.noisy_neighbor ~seed:9 (kvm_arm ()) (noisy_desc 8)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "byte-identical result" true (a = b)
+
+(* --- batch (oversub substrate) --------------------------------------- *)
+
+let test_batch_matches_manual_sched () =
+  (* Batch.run must reproduce the exact scheduler Oversub used to
+     build by hand: same add order, same affinity, same work list. *)
+  let num_pcpus = 4 and timeslice = 1000 and work = 10_000 in
+  let sched = Credit_sched.create ~num_pcpus ~timeslice_cycles:timeslice in
+  let jobs =
+    List.concat_map
+      (fun dom ->
+        List.init num_pcpus (fun index ->
+            let vcpu = { Credit_sched.dom; index } in
+            Credit_sched.add_vcpu sched vcpu ~affinity:index;
+            (vcpu, work)))
+      (List.init 3 Fun.id)
+  in
+  let expected =
+    Credit_sched.run_to_completion sched ~work:jobs ~switch_cost:500
+  in
+  let got =
+    Batch.run ~num_pcpus ~timeslice_cycles:timeslice ~switch_cost:500 ~vms:3
+      ~vcpus_per_vm:num_pcpus ~work_per_vcpu:work
+  in
+  Alcotest.(check (pair int int)) "identical makespan and switches" expected got
+
+(* --- credit_sched under overcommit (satellite) ----------------------- *)
+
+let drive sched ~pcpus ~quanta ~timeslice ~refill_every ~count =
+  for q = 1 to quanta do
+    if q mod refill_every = 0 then
+      Credit_sched.periodic_refill sched ~cycles:(refill_every * timeslice);
+    for pcpu = 0 to pcpus - 1 do
+      match Credit_sched.pick sched ~pcpu with
+      | None -> ()
+      | Some v ->
+          count v;
+          Credit_sched.charge sched ~pcpu ~cycles:timeslice
+    done
+  done
+
+let test_fairness_8_per_pcpu () =
+  (* 8 always-runnable VCPUs on one PCPU: equal weights must yield
+     equal service, spread at most one quantum. *)
+  let ts = 1000 in
+  let sched = Credit_sched.create ~num_pcpus:1 ~timeslice_cycles:ts in
+  let vcpus = List.init 8 (fun dom -> { Credit_sched.dom; index = 0 }) in
+  List.iter
+    (fun v ->
+      Credit_sched.add_vcpu sched v ~affinity:0;
+      Credit_sched.set_runnable sched v true)
+    vcpus;
+  let counts = Hashtbl.create 8 in
+  let count (v : Credit_sched.vcpu) =
+    Hashtbl.replace counts v.Credit_sched.dom
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts v.Credit_sched.dom))
+  in
+  drive sched ~pcpus:1 ~quanta:800 ~timeslice:ts ~refill_every:10 ~count;
+  let per_vcpu =
+    List.map
+      (fun (v : Credit_sched.vcpu) ->
+        Option.value ~default:0 (Hashtbl.find_opt counts v.Credit_sched.dom))
+      vcpus
+  in
+  let mn = List.fold_left Stdlib.min max_int per_vcpu in
+  let mx = List.fold_left Stdlib.max 0 per_vcpu in
+  Alcotest.(check int) "total quanta" 800 (List.fold_left ( + ) 0 per_vcpu);
+  Alcotest.(check bool)
+    (Printf.sprintf "fair spread (min %d, max %d)" mn mx)
+    true
+    (mx - mn <= 1)
+
+let test_cap_enforcement () =
+  (* 9 VCPUs on one PCPU (> 8x overcommit); one is capped at 5%. Its
+     fair share would be 1/9 = 11%; the cap must hold it near 5%
+     while the uncapped eight absorb the slack. *)
+  let ts = 1000 in
+  let sched = Credit_sched.create ~num_pcpus:1 ~timeslice_cycles:ts in
+  let capped = { Credit_sched.dom = 0; index = 0 } in
+  Credit_sched.add_vcpu ~cap:5 sched capped ~affinity:0;
+  Credit_sched.set_runnable sched capped true;
+  let others = List.init 8 (fun i -> { Credit_sched.dom = i + 1; index = 0 }) in
+  List.iter
+    (fun v ->
+      Credit_sched.add_vcpu sched v ~affinity:0;
+      Credit_sched.set_runnable sched v true)
+    others;
+  let capped_runs = ref 0 and total = ref 0 in
+  let count v =
+    incr total;
+    if v = capped then incr capped_runs
+  in
+  drive sched ~pcpus:1 ~quanta:2000 ~timeslice:ts ~refill_every:10 ~count;
+  let share = float_of_int !capped_runs /. float_of_int !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "capped share %.3f in [0.02, 0.07]" share)
+    true
+    (share >= 0.02 && share <= 0.07);
+  Alcotest.(check bool) "capped still ran" true (!capped_runs > 0)
+
+let test_weight_proportionality () =
+  (* Two saturating VCPUs, weights 512 vs 256: service ratio ~2:1. *)
+  let ts = 1000 in
+  let sched = Credit_sched.create ~num_pcpus:1 ~timeslice_cycles:ts in
+  let heavy = { Credit_sched.dom = 0; index = 0 } in
+  let light = { Credit_sched.dom = 1; index = 0 } in
+  Credit_sched.add_vcpu ~weight:512 sched heavy ~affinity:0;
+  Credit_sched.add_vcpu ~weight:256 sched light ~affinity:0;
+  Credit_sched.set_runnable sched heavy true;
+  Credit_sched.set_runnable sched light true;
+  let h = ref 0 and l = ref 0 in
+  let count v = if v = heavy then incr h else incr l in
+  drive sched ~pcpus:1 ~quanta:3000 ~timeslice:ts ~refill_every:10 ~count;
+  let ratio = float_of_int !h /. float_of_int (Stdlib.max 1 !l) in
+  Alcotest.(check bool)
+    (Printf.sprintf "2x weight ~ 2x service (ratio %.2f)" ratio)
+    true
+    (ratio >= 1.7 && ratio <= 2.3)
+
+let test_candidate_order_insertion_invariant () =
+  (* The hash-order determinism class: once boosts are drained and
+     credits are pairwise distinct, the schedule is a pure function of
+     credit state and must not depend on the order VCPUs entered the
+     scheduler's hash table. *)
+  let ts = 1000 in
+  let build order =
+    let sched = Credit_sched.create ~num_pcpus:1 ~timeslice_cycles:ts in
+    List.iter
+      (fun dom ->
+        let v = { Credit_sched.dom; index = 0 } in
+        Credit_sched.add_vcpu sched v ~affinity:0;
+        Credit_sched.set_runnable sched v true)
+      order;
+    (* Drain the 8 wake-up boosts (each VCPU runs exactly once while
+       the others are still boosted), charging dom+1 cycles so every
+       credit becomes pairwise distinct — and stays distinct below,
+       because dom+1 is distinct mod 9. *)
+    List.iter
+      (fun _ ->
+        match Credit_sched.pick sched ~pcpu:0 with
+        | Some v ->
+            Credit_sched.charge sched ~pcpu:0 ~cycles:(v.Credit_sched.dom + 1)
+        | None -> Alcotest.fail "runnable VCPU not picked")
+      order;
+    sched
+  in
+  let a = build [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let b = build [ 7; 3; 5; 1; 6; 0; 2; 4 ] in
+  let seq sched =
+    List.init 64 (fun _ ->
+        match Credit_sched.pick sched ~pcpu:0 with
+        | Some v ->
+            Credit_sched.charge sched ~pcpu:0 ~cycles:9;
+            v.Credit_sched.dom
+        | None -> -1)
+  in
+  Alcotest.(check (list int))
+    "pick sequence independent of insertion order" (seq a) (seq b)
+
+let test_remove_vcpu () =
+  let ts = 1000 in
+  let sched = Credit_sched.create ~num_pcpus:1 ~timeslice_cycles:ts in
+  let a = { Credit_sched.dom = 0; index = 0 } in
+  let b = { Credit_sched.dom = 1; index = 0 } in
+  Credit_sched.add_vcpu sched a ~affinity:0;
+  Credit_sched.add_vcpu sched b ~affinity:0;
+  Credit_sched.set_runnable sched a true;
+  Credit_sched.set_runnable sched b true;
+  (match Credit_sched.pick sched ~pcpu:0 with
+  | Some v -> Alcotest.(check int) "boost FIFO picks first-added" 0 v.Credit_sched.dom
+  | None -> Alcotest.fail "expected a pick");
+  Credit_sched.remove_vcpu sched a;
+  Alcotest.(check bool) "incumbent slot cleared" true
+    (Credit_sched.current sched ~pcpu:0 = None);
+  (match Credit_sched.pick sched ~pcpu:0 with
+  | Some v -> Alcotest.(check int) "survivor scheduled" 1 v.Credit_sched.dom
+  | None -> Alcotest.fail "survivor not scheduled");
+  Alcotest.check_raises "unknown vcpu"
+    (Invalid_argument "Credit_sched: unknown VCPU") (fun () ->
+      Credit_sched.remove_vcpu sched a);
+  (* Re-adding the removed identity is legal (churn domid reuse). *)
+  Credit_sched.add_vcpu sched a ~affinity:0
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "domid reuse lowest-first" `Quick test_pool_reuse;
+          Alcotest.test_case "retire is single-shot" `Quick
+            test_pool_retire_dead;
+        ] );
+      ( "descriptor",
+        [ Alcotest.test_case "mix pattern + validation" `Quick test_descriptor_mix ] );
+      ( "boot-storm",
+        [
+          Alcotest.test_case "smoke at 16 VMs" `Quick test_boot_storm_smoke;
+          Alcotest.test_case "deterministic at 64 VMs" `Quick
+            test_boot_storm_deterministic;
+          Alcotest.test_case "256 VMs complete deterministically" `Quick
+            test_boot_storm_256;
+          Alcotest.test_case "ready time monotone in fleet size" `Quick
+            test_boot_storm_monotone_in_size;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "admit/retire/reuse invariants" `Quick
+            test_churn_smoke;
+          Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
+        ] );
+      ( "noisy-neighbor",
+        [
+          Alcotest.test_case "p99 monotone on all five models" `Quick
+            test_noisy_monotone_all_models;
+          Alcotest.test_case "deterministic" `Quick test_noisy_deterministic;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "reproduces the manual oversub sched" `Quick
+            test_batch_matches_manual_sched;
+        ] );
+      ( "credit-overcommit",
+        [
+          Alcotest.test_case "fairness at 8 VCPUs per PCPU" `Quick
+            test_fairness_8_per_pcpu;
+          Alcotest.test_case "cap enforcement at 9 VCPUs per PCPU" `Quick
+            test_cap_enforcement;
+          Alcotest.test_case "weight proportionality" `Quick
+            test_weight_proportionality;
+          Alcotest.test_case "pick order insertion-invariant" `Quick
+            test_candidate_order_insertion_invariant;
+          Alcotest.test_case "remove_vcpu (churn departures)" `Quick
+            test_remove_vcpu;
+        ] );
+    ]

@@ -164,6 +164,129 @@ let test_csv_render () =
        (fun l -> l = "exit,cell#0.0,m0,kvm_arm,all,hvc,2,1,600,600,600")
        lines)
 
+(* --- per-domain entry accounting (fleet traces) ----------------------- *)
+
+(* A fleet-style trace: every entry marker carries d<domid>. Two guests
+   time-share PCPU 0; a second entry for d0 lands on PCPU 1 with no
+   pending exit, so it counts but contributes no latency sample. *)
+let fleet_process =
+  {
+    Export.pid = 0;
+    name = "fleet#0.0";
+    dropped = 0;
+    events =
+      [
+        ev 100
+          (Accounting.exit_label ~hyp:"kvm_arm" ~reason:"hvc" ~pcpu:0)
+          Span.Instant;
+        ev 200
+          (Accounting.entry_label ~domid:0 ~hyp:"kvm_arm" ~pcpu:0 ())
+          Span.Instant;
+        ev 300
+          (Accounting.exit_label ~hyp:"kvm_arm" ~reason:"irq" ~pcpu:0)
+          Span.Instant;
+        ev 350
+          (Accounting.entry_label ~domid:1 ~hyp:"kvm_arm" ~pcpu:0 ())
+          Span.Instant;
+        ev 400
+          (Accounting.entry_label ~domid:0 ~hyp:"kvm_arm" ~pcpu:1 ())
+          Span.Instant;
+      ];
+  }
+
+let render_process ?opts p =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Stat.render_json ?opts ~context:"fleet-golden" fmt
+    (Accounting.of_processes [ p ]);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let per_domain_opts = { Stat.default_options with Stat.per_domain = true }
+
+(* Verbatim armvirt.stat/v1 with --per-domain: the one place the
+   per_domain member may appear. *)
+let fleet_golden_json =
+  {|{
+  "schema": "armvirt.stat/v1",
+  "context": "fleet-golden",
+  "vms": [
+    {"cell": "fleet#0.0", "machine": "m0", "hyp": "kvm_arm",
+     "entries": 3,
+     "per_domain": [{"domid": 0, "entries": 2}, {"domid": 1, "entries": 1}],
+     "exits": [{"reason": "hvc", "count": 1, "latency": {"count": 1, "sum": 100, "min": 100, "max": 100, "buckets": [[128, 1]]}}, {"reason": "irq", "count": 1, "latency": {"count": 1, "sum": 50, "min": 50, "max": 50, "buckets": [[64, 1]]}}],
+     "ops": [],
+     "attribution": {"guest": 0, "hypervisor": 0}}
+  ],
+  "totals": {"guest": 0, "hypervisor": 0, "exits": 2}
+}
+|}
+
+let contains_substring haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_per_domain_golden () =
+  let got = render_process ~opts:per_domain_opts fleet_process in
+  Alcotest.(check string) "per-domain golden" fleet_golden_json got;
+  (match Stat.parse_json got with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "per-domain golden does not re-parse: %s" e);
+  (* Without the opt-in, the document must not grow the member — the
+     pre-fleet golden above depends on it. *)
+  let default = render_process fleet_process in
+  Alcotest.(check bool)
+    "per_domain absent by default" false
+    (contains_substring default "per_domain")
+
+let test_per_domain_diff () =
+  let old_doc = render_process ~opts:per_domain_opts fleet_process in
+  (match Stat.diff old_doc old_doc with
+  | Ok [] -> ()
+  | Ok fs -> Alcotest.failf "self-diff found %d findings" (List.length fs)
+  | Error e -> Alcotest.failf "self-diff errored: %s" e);
+  let perturbed =
+    {
+      fleet_process with
+      Export.events =
+        fleet_process.Export.events
+        @ [
+            ev 500
+              (Accounting.entry_label ~domid:1 ~hyp:"kvm_arm" ~pcpu:1 ())
+              Span.Instant;
+          ];
+    }
+  in
+  let new_doc = render_process ~opts:per_domain_opts perturbed in
+  match Stat.diff old_doc new_doc with
+  | Ok findings ->
+      Alcotest.(check bool)
+        "per-domain drift is a finding" true
+        (List.exists
+           (fun (f : Stat.finding) ->
+             contains_substring f.Stat.path "per_domain[d1]")
+           findings)
+  | Error e -> Alcotest.failf "per-domain diff errored: %s" e
+
+let test_per_domain_csv () =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Stat.render_csv ~opts:per_domain_opts ~context:"fleet-golden" fmt
+    (Accounting.of_processes [ fleet_process ]);
+  Format.pp_print_flush fmt ();
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row %S present" expected)
+        true
+        (List.exists (fun l -> l = expected) lines))
+    [
+      "entry,fleet#0.0,m0,kvm_arm,all,d0,2,,,,";
+      "entry,fleet#0.0,m0,kvm_arm,all,d1,1,,,,";
+    ]
+
 (* --- RFC 4180 CSV escaping (trace exporter regression) --------------- *)
 
 let test_csv_escaping () =
@@ -285,6 +408,14 @@ let () =
           Alcotest.test_case "csv" `Quick test_csv_render;
           Alcotest.test_case "csv escaping (RFC 4180)" `Quick
             test_csv_escaping;
+        ] );
+      ( "per-domain",
+        [
+          Alcotest.test_case "golden with --per-domain" `Quick
+            test_per_domain_golden;
+          Alcotest.test_case "diff covers per_domain" `Quick
+            test_per_domain_diff;
+          Alcotest.test_case "csv entry rows" `Quick test_per_domain_csv;
         ] );
       ( "session",
         [
