@@ -284,6 +284,26 @@ let bench_fleet_boot ~vms ~scale () =
     (fun hyp ->
       ignore (Fleet.Scenario.boot_storm ~seed:42 hyp (Fleet.Descriptor.v ~vms mix)))
 
+(* Cluster pairwise iperf matrix on KVM ARM over the two-host Pair
+   topology: every frame crosses a virtual-switch port pair (and half of
+   them an uplink), so events/sec here tracks the vswitch ingress/egress
+   hot path plus the wire model, not raw engine dispatch. *)
+let bench_cluster_matrix ~scale () =
+  let chunks = if scale <= 0 then 2 else 16 * scale in
+  let repeats = if scale <= 0 then 1 else 4 in
+  repeat_workload ~name:"cluster-matrix" ~repeats (fun hyp ->
+      ignore (W.Cluster.run_matrix ~chunks hyp))
+
+(* Open-loop cluster load generation: Poisson arrivals fanned round-robin
+   over a 16-backend pool through the switch fabric — the highest
+   process-count workload in the repo (one server + one socket queue per
+   backend, plus the per-request delivery processes). *)
+let bench_cluster_loadgen ~scale () =
+  let requests = if scale <= 0 then 40 else 400 * scale in
+  let repeats = if scale <= 0 then 1 else 4 in
+  repeat_workload ~name:"cluster-loadgen" ~repeats (fun hyp ->
+      ignore (W.Cluster.run_loadgen ~seed:42 ~requests hyp))
+
 (* --- baseline ------------------------------------------------------- *)
 
 (* Pre-PR engine (record-entry heap, list-scan blocked set, Queue/list
@@ -339,6 +359,8 @@ let suite ~scale () =
       bench_migrate;
       bench_fleet_boot ~vms:64;
       bench_fleet_boot ~vms:256;
+      bench_cluster_matrix;
+      bench_cluster_loadgen;
     ]
 
 let geomean = function

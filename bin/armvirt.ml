@@ -11,6 +11,8 @@
      migrate       live-migrate a loaded VM and report downtime vs the SLO
      fleet         consolidate N guests on one host: boot-storm, churn,
                    noisy-neighbor p99 vs fleet size
+     cluster       VM-to-VM traffic over the virtual switch fabric:
+                   throughput matrix, service chain, load-generator sweep
      bench-events  measure raw engine events/sec and emit BENCH_events.json
      lint          statically check the determinism invariants (lib/lint) *)
 
@@ -25,6 +27,7 @@ module Stat = Armvirt_obs.Stat
 module W = Armvirt_workloads
 module Hypervisor = Armvirt_hypervisor.Hypervisor
 module Fleet = Armvirt_fleet
+module Topology = Armvirt_vswitch.Topology
 
 open Cmdliner
 
@@ -517,8 +520,10 @@ let stat_cmd =
           ~doc:
             "What to account: any experiment id from `armvirt list`, \
              $(b,rr) / $(b,micro) for the direct workload paths \
-             (honouring $(b,-p)/$(b,-H)), or $(b,fleet) for a small \
-             traced boot-storm whose entries are domain-tagged. With \
+             (honouring $(b,-p)/$(b,-H)), $(b,fleet) for a small \
+             traced boot-storm whose entries are domain-tagged, or \
+             $(b,cluster) for a traced two-host service chain with \
+             per-port vswitch and wire counters. With \
              $(b,--diff), two armvirt.stat/v1 JSON files (old then \
              new).")
   in
@@ -687,6 +692,13 @@ let stat_cmd =
                       in
                       ignore
                         (Fleet.Scenario.boot_storm (resolve platform hyp) desc))
+              | "cluster" ->
+                  (* A traced two-host service chain: the vswitch.* and
+                     wire.* per-port counters surface as operation rows. *)
+                  traced_cell "cluster#0.0" (fun () ->
+                      ignore
+                        (W.Cluster.run_chain ~requests:40
+                           (resolve platform hyp)))
               | id when List.mem_assoc id experiments ->
                   run_experiment null_ppf id
               | other ->
@@ -1302,6 +1314,199 @@ let fleet_cmd =
       const run $ scenario_arg $ vms_arg $ mix_arg $ format_arg $ out_arg
       $ jobs_arg $ trace_file_arg $ stat_file_arg)
 
+(* --- cluster --------------------------------------------------------------- *)
+
+let cluster_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("matrix", `Matrix); ("chain", `Chain); ("loadgen", `Loadgen) ])
+          `Matrix
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "$(b,matrix) (iperf-style pairwise VM-to-VM throughput), \
+             $(b,chain) (client -> LB -> backend with per-hop latency), \
+             or $(b,loadgen) (open-loop tail-latency-vs-offered-load \
+             sweep against a memcached-style backend pool).")
+  in
+  let topology_conv =
+    let parse s =
+      match Topology.spec_of_string s with
+      | spec -> Ok spec
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    let print fmt s = Format.pp_print_string fmt (Topology.spec_to_string s) in
+    Arg.conv (parse, print)
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt topology_conv Topology.Pair
+      & info [ "topology" ] ~docv:"TOPO"
+          ~doc:
+            "$(b,single) (one host), $(b,pair) (two hosts, one 10 GbE \
+             uplink each way) or $(b,star)[$(b,:N)] (N leaf hosts through \
+             a spine switch). VMs round-robin across hosts.")
+  in
+  let vms_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "vms" ] ~docv:"N"
+          ~doc:
+            "VM count: matrix default 4, loadgen backend-pool default 16 \
+             (the chain is always client + LB + backend).")
+  in
+  let loads_conv =
+    let parse s =
+      try
+        Ok
+          (List.map
+             (fun tok -> float_of_string (String.trim tok))
+             (String.split_on_char ',' s))
+      with _ -> Error (`Msg (Printf.sprintf "bad load list %S" s))
+    in
+    let print fmt l =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map (Printf.sprintf "%g") l))
+    in
+    Arg.conv (parse, print)
+  in
+  let loads_arg =
+    Arg.(
+      value
+      & opt loads_conv W.Cluster.default_loads
+      & info [ "offered-load" ] ~docv:"L1,L2,..."
+          ~doc:
+            "Loadgen sweep points as fractions of the pool's aggregate \
+             native capacity; the default tops out at $(b,1.1) — past \
+             the knee on every model.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("md", `Md); ("csv", `Csv) ]) `Md
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"$(b,md) (default) or $(b,csv).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file; $(b,-) (default) is stdout.")
+  in
+  let with_out out f =
+    match out with
+    | "-" ->
+        f Format.std_formatter;
+        Format.pp_print_flush Format.std_formatter ()
+    | path ->
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        f fmt;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path
+  in
+  let f1 = Printf.sprintf "%.1f" in
+  let f2 = Printf.sprintf "%.2f" in
+  let f3 = Printf.sprintf "%.3f" in
+  let run scenario spec vms loads format out jobs trace_file stat_file =
+    apply_jobs jobs;
+    (match loads with
+    | [] ->
+        Format.fprintf ppf "--offered-load needs at least one point@.";
+        exit 2
+    | l when List.exists (fun x -> x <= 0.0) l ->
+        Format.fprintf ppf "--offered-load points must be positive@.";
+        exit 2
+    | _ -> ());
+    with_session ~context:"cluster" ~stat_file ~trace_file ~verbose:false
+    @@ fun () ->
+    let header, rows =
+      match scenario with
+      | `Matrix ->
+          let vms = Option.value vms ~default:4 in
+          let results = Experiment.cluster_matrix ~vms ~spec () in
+          ( [ "config"; "topology"; "src"; "dst"; "xhost"; "gbps" ],
+            List.concat_map
+              (fun (name, (r : W.Cluster.matrix_result)) ->
+                List.map
+                  (fun (p : W.Cluster.pair_result) ->
+                    [
+                      name;
+                      r.W.Cluster.topology;
+                      string_of_int p.W.Cluster.src;
+                      string_of_int p.W.Cluster.dst;
+                      (if p.W.Cluster.cross_host then "y" else "n");
+                      f2 p.W.Cluster.gbps;
+                    ])
+                  r.W.Cluster.pairs)
+              results )
+      | `Chain ->
+          let results = Experiment.cluster_chain ~spec () in
+          let hop_names =
+            match results with
+            | (_, r) :: _ -> List.map fst r.W.Cluster.hops
+            | [] -> []
+          in
+          ( [ "config"; "topology" ] @ hop_names
+            @ [ "mean_us"; "p99_us"; "xhost" ],
+            List.map
+              (fun (name, (r : W.Cluster.chain_result)) ->
+                [ name; r.W.Cluster.chain_topology ]
+                @ List.map (fun (_, us) -> f3 us) r.W.Cluster.hops
+                @ [
+                    f3 r.W.Cluster.mean_total_us;
+                    f3 r.W.Cluster.p99_total_us;
+                    (if r.W.Cluster.backend_cross_host then "y" else "n");
+                  ])
+              results )
+      | `Loadgen ->
+          let vms = Option.value vms ~default:16 in
+          let results = Experiment.cluster_loadgen ~vms ~spec ~loads () in
+          ( [
+              "config"; "backends"; "offered"; "offered_rps"; "completed";
+              "mean_us"; "p50_us"; "p95_us"; "p99_us"; "throughput_rps";
+            ],
+            List.concat_map
+              (fun (name, (r : W.Cluster.loadgen_result)) ->
+                List.map
+                  (fun (p : W.Cluster.load_point) ->
+                    [
+                      name;
+                      string_of_int r.W.Cluster.backends;
+                      f2 p.W.Cluster.offered;
+                      Printf.sprintf "%.0f" p.W.Cluster.offered_rps;
+                      string_of_int p.W.Cluster.completed;
+                      f1 p.W.Cluster.mean_us;
+                      f1 p.W.Cluster.p50_us;
+                      f1 p.W.Cluster.p95_us;
+                      f1 p.W.Cluster.p99_us;
+                      Printf.sprintf "%.0f" p.W.Cluster.throughput_rps;
+                    ])
+                  r.W.Cluster.points)
+              results )
+    in
+    with_out out (fun out_ppf ->
+        match format with
+        | `Csv -> Report.pp_csv_table out_ppf ~header rows
+        | `Md -> Report.pp_markdown_table out_ppf ~header rows)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "VM-to-VM and cross-host traffic over the virtual switch \
+          fabric: pairwise throughput matrix, client -> LB -> backend \
+          service chain, and an open-loop load generator driving a \
+          backend pool past its saturation knee, on every \
+          platform/hypervisor model")
+    Term.(
+      const run $ scenario_arg $ topology_arg $ vms_arg $ loads_arg
+      $ format_arg $ out_arg $ jobs_arg $ trace_file_arg $ stat_file_arg)
+
 (* --- bench-events ---------------------------------------------------------- *)
 
 module Bench_events = Armvirt_bench_events.Bench_events
@@ -1399,5 +1604,5 @@ let () =
           [
             list_cmd; run_cmd; micro_cmd; app_cmd; rr_cmd; trace_cmd;
             stat_cmd; timeline_cmd; explore_cmd; migrate_cmd; fleet_cmd;
-            bench_events_cmd; report_cmd; lint_cmd;
+            cluster_cmd; bench_events_cmd; report_cmd; lint_cmd;
           ]))

@@ -839,3 +839,34 @@ let lrs () =
           (Platform.hypervisor Platform.Arm_m400 id)
           ~lrs:[ 1; 2; 4; 8; 16 ] ~burst_size:12 ~bursts:1000 ))
     arm_hypervisor_ids
+
+(* --- cluster ------------------------------------------------------- *)
+
+module Vswitch = Armvirt_vswitch
+
+let cluster_matrix ?(vms = 4) ?(spec = Vswitch.Topology.Pair) () =
+  Runner.map
+    (fun (name, p, id) ->
+      (name, W.Cluster.run_matrix ~vms ~spec (Platform.hypervisor p id)))
+    migrate_configs
+
+let cluster_chain ?(requests = 400) ?(spec = Vswitch.Topology.Pair) () =
+  Runner.map
+    (fun (name, p, id) ->
+      (name, W.Cluster.run_chain ~requests ~spec (Platform.hypervisor p id)))
+    migrate_configs
+
+let cluster_loadgen ?(vms = 16) ?(spec = Vswitch.Topology.Pair) ?loads () =
+  Runner.map
+    (fun (name, p, id) ->
+      (* The seed is a function of the cell identity only — never of
+         the offered load: the whole sweep replays one arrival
+         skeleton, which is what makes each latency curve monotone. *)
+      let seed =
+        cell_seed ~platform:(platform_id p) ~hyp:(hyp_id_string id)
+          ~tuning:"cluster-loadgen" ()
+      in
+      ( name,
+        W.Cluster.run_loadgen ~seed ~vms ~spec ?loads
+          (Platform.hypervisor p id) ))
+    migrate_configs

@@ -275,3 +275,32 @@ val structural : unit -> structural_row list
 (** Cross-validation: the [lib/system] end-to-end stacks (TCP_RR through
     real rings/grants/vGIC; Hackbench through real mailboxes/IPIs)
     against the analytic models that regenerate the paper's numbers. *)
+
+val cluster_matrix :
+  ?vms:int ->
+  ?spec:Armvirt_vswitch.Topology.spec ->
+  unit ->
+  (string * Armvirt_workloads.Cluster.matrix_result) list
+(** Pairwise VM-to-VM throughput matrix (default 4 VMs on a two-host
+    pair) on every platform/hypervisor model, one runner cell each, so
+    the report is byte-identical at any [--jobs] level. Same-host pairs
+    expose the port-cost gap (zero-copy vhost above Xen's Dom0 copies);
+    cross-host pairs bound on the 10 GbE uplink. *)
+
+val cluster_chain :
+  ?requests:int ->
+  ?spec:Armvirt_vswitch.Topology.spec ->
+  unit ->
+  (string * Armvirt_workloads.Cluster.chain_result) list
+(** Client → LB → backend service chain with per-hop mean latencies on
+    every model. *)
+
+val cluster_loadgen :
+  ?vms:int ->
+  ?spec:Armvirt_vswitch.Topology.spec ->
+  ?loads:float list ->
+  unit ->
+  (string * Armvirt_workloads.Cluster.loadgen_result) list
+(** Open-loop tail-latency-vs-offered-load sweep (default 16 backends)
+    on every model. The per-cell seed ignores the offered load, so each
+    curve replays one arrival skeleton and p99 is monotone in load. *)

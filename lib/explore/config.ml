@@ -12,6 +12,13 @@ type fleet_cfg = {
   fleet_timeslice_ms : float;
 }
 
+type cluster_cfg = {
+  cluster_vms : int;
+  cluster_load : float;
+  net_queue : int;
+  net_uplink_gbps : float;
+}
+
 type t = {
   arm : Cost_model.arm;
   tuning : H.Kvm_arm.tuning;
@@ -20,9 +27,18 @@ type t = {
   hyp : hyp_choice;
   migration : Plan.t;
   fleet : fleet_cfg;
+  cluster : cluster_cfg;
 }
 
 let default_fleet = { fleet_vms = 16; fleet_vcpus = 1; fleet_timeslice_ms = 1.0 }
+
+let default_cluster =
+  {
+    cluster_vms = 4;
+    cluster_load = 0.8;
+    net_queue = 64;
+    net_uplink_gbps = 10.0;
+  }
 
 let default =
   {
@@ -33,6 +49,7 @@ let default =
     hyp = Kvm;
     migration = Plan.default;
     fleet = default_fleet;
+    cluster = default_cluster;
   }
 
 let hyp_choice_of_string = function
@@ -86,6 +103,13 @@ let knobs =
     ("fleet.vcpus", "VCPUs per fleet guest (int; 2 at 8 PCPUs is 4x \
                      overcommit at 16 VMs)");
     ("fleet.timeslice_ms", "credit-scheduler timeslice in ms (float)");
+    ("cluster.vms", "VMs on the two-host cluster topology for the \
+                     cluster-* objectives (int, >= 2)");
+    ("cluster.load", "offered load as a fraction of the backend pool's \
+                      aggregate native capacity (float)");
+    ("net.queue", "virtual-switch per-port egress queue capacity in \
+                   frames (int)");
+    ("net.uplink_gbps", "cross-host uplink wire rate in Gbps (float)");
   ]
 
 let as_int name = function
@@ -196,6 +220,22 @@ let apply t name v =
       let ms = as_float name v in
       if ms <= 0.0 then invalid_arg "Config: fleet.timeslice_ms <= 0";
       { t with fleet = { t.fleet with fleet_timeslice_ms = ms } }
+  | "cluster.vms" ->
+      let n = as_int name v in
+      if n < 2 then invalid_arg "Config: cluster.vms < 2";
+      { t with cluster = { t.cluster with cluster_vms = n } }
+  | "cluster.load" ->
+      let l = as_float name v in
+      if l <= 0.0 then invalid_arg "Config: cluster.load <= 0";
+      { t with cluster = { t.cluster with cluster_load = l } }
+  | "net.queue" ->
+      let n = as_int name v in
+      if n < 1 then invalid_arg "Config: net.queue < 1";
+      { t with cluster = { t.cluster with net_queue = n } }
+  | "net.uplink_gbps" ->
+      let g = as_float name v in
+      if g <= 0.0 then invalid_arg "Config: net.uplink_gbps <= 0";
+      { t with cluster = { t.cluster with net_uplink_gbps = g } }
   | _ ->
       invalid_arg
         (Printf.sprintf "Config: unknown knob %S (see Config.knobs)" name)

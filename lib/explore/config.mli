@@ -14,6 +14,13 @@ type fleet_cfg = {
   fleet_timeslice_ms : float;  (** Credit-scheduler timeslice. *)
 }
 
+type cluster_cfg = {
+  cluster_vms : int;  (** VMs on the two-host cluster topology. *)
+  cluster_load : float;  (** Offered load, fraction of native capacity. *)
+  net_queue : int;  (** Virtual-switch per-port egress queue, frames. *)
+  net_uplink_gbps : float;  (** Cross-host uplink wire rate. *)
+}
+
 type t = {
   arm : Armvirt_arch.Cost_model.arm;
   tuning : Armvirt_hypervisor.Kvm_arm.tuning;
@@ -26,6 +33,9 @@ type t = {
   fleet : fleet_cfg;
       (** Consolidation scenario for the [fleet-*] objectives; the
           [fleet.*] knobs edit it. *)
+  cluster : cluster_cfg;
+      (** Cluster-networking scenario for the [cluster-*] and [chain-*]
+          objectives; the [cluster.*] and [net.*] knobs edit it. *)
 }
 
 val default : t

@@ -246,6 +246,68 @@ let all =
             .Fleet.Scenario.p99_us);
     };
     {
+      name = "cluster-pair-gbps";
+      doc =
+        "same-host VM-to-VM throughput (pairwise matrix mean) at the \
+         point's cluster.*/net.* scenario";
+      unit_ = "Gbps";
+      direction = Max;
+      eval =
+        (fun c ->
+          let n = c.Config.cluster in
+          W.Cluster.matrix_mean ~cross:false
+            (W.Cluster.run_matrix ~vms:n.Config.cluster_vms
+               ~queue_capacity:n.Config.net_queue
+               ~uplink_gbps:n.Config.net_uplink_gbps (Config.hypervisor c)));
+    };
+    {
+      name = "cluster-xhost-gbps";
+      doc = "cross-host VM-to-VM throughput over the cluster uplinks";
+      unit_ = "Gbps";
+      direction = Max;
+      eval =
+        (fun c ->
+          let n = c.Config.cluster in
+          W.Cluster.matrix_mean ~cross:true
+            (W.Cluster.run_matrix ~vms:n.Config.cluster_vms
+               ~queue_capacity:n.Config.net_queue
+               ~uplink_gbps:n.Config.net_uplink_gbps (Config.hypervisor c)));
+    };
+    {
+      name = "chain-p99";
+      doc =
+        "client -> LB -> backend service-chain p99 end-to-end latency \
+         across the cluster pair";
+      unit_ = "us";
+      direction = Min;
+      eval =
+        (fun c ->
+          (W.Cluster.run_chain ~requests:100
+             ~uplink_gbps:c.Config.cluster.Config.net_uplink_gbps
+             (Config.hypervisor c))
+            .W.Cluster.p99_total_us);
+    };
+    {
+      name = "cluster-p99";
+      doc =
+        "open-loop backend-pool p99 at the point's cluster.load offered \
+         load, through the switch fabric";
+      unit_ = "us";
+      direction = Min;
+      eval =
+        (fun c ->
+          let n = c.Config.cluster in
+          let r =
+            W.Cluster.run_loadgen ~seed:42 ~requests:600
+              ~vms:n.Config.cluster_vms
+              ~loads:[ n.Config.cluster_load ]
+              ~uplink_gbps:n.Config.net_uplink_gbps (Config.hypervisor c)
+          in
+          match r.W.Cluster.points with
+          | [ p ] -> p.W.Cluster.p99_us
+          | _ -> invalid_arg "Objective: cluster-p99 expects one point");
+    };
+    {
       name = "hypercall-err";
       doc = "percent error of the hypercall cost vs Table II";
       unit_ = "%";

@@ -8,6 +8,7 @@ type t = {
   mutable wire_free_at : Cycles.t; (* serialization point: FIFO ordering *)
   mutable in_flight : int;
   mutable delivered : int;
+  mutable busy : int; (* cumulative serialization cycles committed *)
 }
 
 let create sim ~propagation ~cycles_per_byte =
@@ -19,6 +20,7 @@ let create sim ~propagation ~cycles_per_byte =
     wire_free_at = Cycles.zero;
     in_flight = 0;
     delivered = 0;
+    busy = 0;
   }
 
 let ten_gbe sim ~freq_ghz =
@@ -37,6 +39,7 @@ let send t packet ~deliver =
   let start = Cycles.max now t.wire_free_at in
   let done_serializing = Cycles.add start serialization in
   t.wire_free_at <- done_serializing;
+  t.busy <- t.busy + Cycles.to_int serialization;
   let arrival = Cycles.add done_serializing t.propagation in
   t.in_flight <- t.in_flight + 1;
   Sim.spawn_here ~name:"link-delivery" (fun () ->
@@ -60,10 +63,10 @@ let transfer_time t ~bytes =
 let send_bulk t ~bytes =
   let now = Sim.current_time () in
   let start = Cycles.max now t.wire_free_at in
-  let done_serializing =
-    Cycles.add start (serialization_cycles t ~bytes)
-  in
+  let serialization = serialization_cycles t ~bytes in
+  let done_serializing = Cycles.add start serialization in
   t.wire_free_at <- done_serializing;
+  t.busy <- t.busy + Cycles.to_int serialization;
   let arrival = Cycles.add done_serializing t.propagation in
   t.in_flight <- t.in_flight + 1;
   Sim.delay (Cycles.sub arrival now);
@@ -73,3 +76,11 @@ let send_bulk t ~bytes =
 
 let in_flight t = t.in_flight
 let delivered t = t.delivered
+let busy_cycles t = t.busy
+
+let utilization t =
+  (* Elapsed includes serialization already committed to the future
+     (wire_free_at past now), so a saturated wire reads 1.0 rather
+     than transiently above it. *)
+  let elapsed = Cycles.to_int (Cycles.max (Sim.now t.sim) t.wire_free_at) in
+  if elapsed = 0 then 0.0 else float_of_int t.busy /. float_of_int elapsed

@@ -40,3 +40,14 @@ val send_bulk : t -> bytes:int -> Armvirt_engine.Cycles.t
 
 val in_flight : t -> int
 val delivered : t -> int
+
+val busy_cycles : t -> int
+(** Cumulative serialization cycles the wire has committed (including
+    serialization scheduled into the near future behind the FIFO
+    point). *)
+
+val utilization : t -> float
+(** Busy cycles over elapsed simulated time. Elapsed is
+    [max (Sim.now) wire_free_at] — the horizon the wire is committed
+    to — so the figure stays in [0, 1] even while frames are still
+    queued to serialize; 0 before any time has passed. *)

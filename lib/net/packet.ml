@@ -1,21 +1,30 @@
 module Sim = Armvirt_engine.Sim
 module Cycles = Armvirt_engine.Cycles
 
-let framing_bytes = 66
+let default_framing = 66
+let vlan_tag_bytes = 4
 
 type t = {
   id : int;
   payload : int;
+  mutable framing : int;
   stamps : (string, Cycles.t) Hashtbl.t;
 }
 
-let create ?(payload = 1) ~id () =
+let create ?(framing = default_framing) ?(payload = 1) ~id () =
   if payload < 0 then invalid_arg "Packet.create: negative payload";
-  { id; payload; stamps = Hashtbl.create 8 }
+  if framing < 0 then invalid_arg "Packet.create: negative framing";
+  { id; payload; framing; stamps = Hashtbl.create 8 }
 
 let id t = t.id
 let payload_bytes t = t.payload
-let wire_bytes t = t.payload + framing_bytes
+let framing_bytes t = t.framing
+
+let set_framing t framing =
+  if framing < 0 then invalid_arg "Packet.set_framing: negative framing";
+  t.framing <- framing
+
+let wire_bytes t = t.payload + t.framing
 let stamp_at t label time = Hashtbl.replace t.stamps label time
 let stamp t label = stamp_at t label (Sim.current_time ())
 let timestamp t label = Hashtbl.find_opt t.stamps label

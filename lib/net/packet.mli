@@ -10,16 +10,33 @@
 
 type t
 
-val create : ?payload:int -> id:int -> unit -> t
+val default_framing : int
+(** 66 bytes of Ethernet + IP + TCP framing — the overhead every
+    untagged frame carries. *)
+
+val vlan_tag_bytes : int
+(** The 4 bytes an 802.1Q tag adds on a switch trunk port. *)
+
+val create : ?framing:int -> ?payload:int -> id:int -> unit -> t
 (** [payload] is the application bytes (default 1, as in TCP_RR);
-    {!wire_bytes} adds header overhead. Raises [Invalid_argument] on
-    negative payload. *)
+    [framing] the header overhead {!wire_bytes} adds on top (default
+    {!default_framing}, preserving the pre-parameterized 66-byte
+    behavior). Raises [Invalid_argument] on a negative payload or
+    framing. *)
 
 val id : t -> int
 val payload_bytes : t -> int
 
+val framing_bytes : t -> int
+(** The packet's current header overhead in bytes. *)
+
+val set_framing : t -> int -> unit
+(** Re-frame the packet in place — a switch trunk port adds
+    {!vlan_tag_bytes} on ingress to the uplink and strips it again at
+    the far side. Raises [Invalid_argument] on a negative framing. *)
+
 val wire_bytes : t -> int
-(** Payload plus 66 bytes of Ethernet+IP+TCP framing. *)
+(** Payload plus the packet's framing overhead. *)
 
 val stamp : t -> string -> unit
 (** Records the current simulated time under a label. Must run inside a

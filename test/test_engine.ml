@@ -577,6 +577,8 @@ let test_bench_events_schema () =
           "\"micro-suite\"";
           "\"netperf-rr\"";
           "\"migrate-precopy\"";
+          "\"cluster-matrix\"";
+          "\"cluster-loadgen\"";
         ]
 
 let prop_sim_determinism =
