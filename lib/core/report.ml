@@ -70,8 +70,11 @@ let pp_table5 ppf results =
   in
   row "Trans/s" (fun r -> Some r.Netperf.trans_per_sec);
   row "Time/trans (us)" (fun r -> Some r.Netperf.time_per_trans_us);
+  (* Overheads below the table's rounding resolution print as blank. *)
+  let round_cutoff_us = 0.05 in
   row "Overhead (us)" (fun r ->
-      if r.Netperf.overhead_us < 0.05 then None else Some r.Netperf.overhead_us);
+      if r.Netperf.overhead_us < round_cutoff_us then None
+      else Some r.Netperf.overhead_us);
   row "send to recv (us)" (fun r -> Some r.Netperf.send_to_recv_us);
   row "recv to send (us)" (fun r -> Some r.Netperf.recv_to_send_us);
   row "recv to VM recv (us)" (fun r -> r.Netperf.recv_to_vm_recv_us);

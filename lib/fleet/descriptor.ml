@@ -45,7 +45,8 @@ let validate t =
         invalid_arg ("Fleet.Descriptor: profile " ^ p.name ^ ": vcpus < 1");
       if p.weight < 1 then
         invalid_arg ("Fleet.Descriptor: profile " ^ p.name ^ ": weight < 1");
-      if p.cap_pct < 0 || p.cap_pct > 100 then
+      let max_cap_pct = 100 in
+      if p.cap_pct < 0 || p.cap_pct > max_cap_pct then
         invalid_arg
           ("Fleet.Descriptor: profile " ^ p.name ^ ": cap outside [0, 100]");
       if p.boot_cycles < 1 || p.work_cycles < 1 then

@@ -3,7 +3,7 @@ module Cycles = Armvirt_engine.Cycles
 module Rng = Armvirt_engine.Rng
 module Summary = Armvirt_stats.Summary
 module Machine = Armvirt_arch.Machine
-module Accounting = Armvirt_obs.Accounting
+module Marker = Armvirt_obs.Marker
 module Hypervisor = Armvirt_hypervisor.Hypervisor
 module Io_profile = Armvirt_hypervisor.Io_profile
 module Kernel_costs = Armvirt_guest.Kernel_costs
@@ -98,15 +98,14 @@ let dispatch host ~service =
     | None ->
         if prev <> None then
           Machine.count host.machine
-            (Accounting.exit_label ~hyp:host.prefix ~reason:"irq" ~pcpu)
+            (Marker.exit ~hyp:host.prefix ~reason:Marker.Irq ~pcpu)
     | Some v ->
         if prev <> Some v then begin
           if prev <> None then
             Machine.count host.machine
-              (Accounting.exit_label ~hyp:host.prefix ~reason:"irq" ~pcpu);
+              (Marker.exit ~hyp:host.prefix ~reason:Marker.Irq ~pcpu);
           Machine.count host.machine
-            (Accounting.entry_label ~domid:v.Credit_sched.dom ~hyp:host.prefix
-               ~pcpu ())
+            (Marker.entry ~domid:v.Credit_sched.dom ~hyp:host.prefix ~pcpu ())
         end;
         let used = service v ~pcpu ~now in
         Credit_sched.charge host.sched ~pcpu ~cycles:used

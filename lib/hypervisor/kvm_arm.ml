@@ -9,7 +9,7 @@ module Distributor = Armvirt_gic.Distributor
 module El2_state = Armvirt_arch.El2_state
 module Esr = Armvirt_arch.Esr
 module Kernel_costs = Armvirt_guest.Kernel_costs
-module Accounting = Armvirt_obs.Accounting
+module Marker = Armvirt_obs.Marker
 
 type tuning = {
   lazy_fp : bool;
@@ -120,7 +120,7 @@ let exit_to_host ?(pcpu = vcpu0_pcpu) ?(reason = Esr.Hvc64) t =
      marker label is the kvm_stat-style exit record consumed by
      Armvirt_obs.Accounting. *)
   Machine.count t.machine
-    (Accounting.exit_label ~hyp:"kvm_arm" ~reason:(Esr.short_name reason) ~pcpu);
+    (Marker.exit ~hyp:"kvm_arm" ~reason:(Esr.marker_reason reason) ~pcpu);
   let w = t.world.(pcpu) in
   El2_state.exit_to_el2 w;
   Arm_ops.trap_to_el2 t.ops;
@@ -161,7 +161,7 @@ let enter_vm ?(pcpu = vcpu0_pcpu) ?(domid = 1) t =
   end;
   (* Marked after the restore path so the exit->entry marker distance is
      the full world-switch latency, like kvm_entry after vcpu_load. *)
-  Machine.count t.machine (Accounting.entry_label ~hyp:"kvm_arm" ~pcpu ~domid ())
+  Machine.count t.machine (Marker.entry ~hyp:"kvm_arm" ~pcpu ~domid ())
 
 let dispatch_cost t = if vhe t then t.tun.vhe_dispatch else t.tun.host_dispatch
 

@@ -7,7 +7,7 @@ module Apic = Armvirt_gic.Apic
 module Vmx_state = Armvirt_arch.Vmx_state
 module Kernel_costs = Armvirt_guest.Kernel_costs
 module Esr = Armvirt_arch.Esr
-module Accounting = Armvirt_obs.Accounting
+module Marker = Armvirt_obs.Marker
 
 type tuning = {
   dispatch : int;
@@ -76,14 +76,14 @@ let given_vcpu_blocked ?(pcpu = vcpu0_pcpu) ?(domid = 1) t =
    exit reasons in the marker labels (mli note in Esr). *)
 let exit_vm ?(pcpu = vcpu0_pcpu) ?(reason = Esr.Hvc64) t =
   Machine.count t.machine
-    (Accounting.exit_label ~hyp:"kvm_x86" ~reason:(Esr.short_name reason) ~pcpu);
+    (Marker.exit ~hyp:"kvm_x86" ~reason:(Esr.marker_reason reason) ~pcpu);
   Vmx_state.vmexit t.world.(pcpu);
   X86_ops.vmexit t.ops
 
 let resume_vm ?(pcpu = vcpu0_pcpu) t =
   X86_ops.vmentry t.ops;
   Vmx_state.vmentry t.world.(pcpu);
-  Machine.count t.machine (Accounting.entry_label ~hyp:"kvm_x86" ~pcpu ())
+  Machine.count t.machine (Marker.entry ~hyp:"kvm_x86" ~pcpu ())
 
 let hypercall t =
   Machine.count t.machine "kvm_x86.hypercall";

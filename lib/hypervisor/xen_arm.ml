@@ -10,7 +10,7 @@ module El2_state = Armvirt_arch.El2_state
 module Event_channel = Armvirt_io.Event_channel
 module Kernel_costs = Armvirt_guest.Kernel_costs
 module Esr = Armvirt_arch.Esr
-module Accounting = Armvirt_obs.Accounting
+module Marker = Armvirt_obs.Marker
 
 type pinning = Separate | Shared
 
@@ -119,10 +119,10 @@ let spend t label cycles = Machine.spend t.machine label cycles
 
 let mark_exit t ~pcpu reason =
   Machine.count t.machine
-    (Accounting.exit_label ~hyp:"xen_arm" ~reason:(Esr.short_name reason) ~pcpu)
+    (Marker.exit ~hyp:"xen_arm" ~reason:(Esr.marker_reason reason) ~pcpu)
 
 let mark_entry t ~pcpu ~domid =
-  Machine.count t.machine (Accounting.entry_label ~hyp:"xen_arm" ~pcpu ~domid ())
+  Machine.count t.machine (Marker.entry ~hyp:"xen_arm" ~pcpu ~domid ())
 
 let trap_to_xen ?(pcpu = 4) ?(reason = Esr.Hvc64) t =
   mark_exit t ~pcpu reason;

@@ -7,7 +7,7 @@ module Event_channel = Armvirt_io.Event_channel
 module Vmx_state = Armvirt_arch.Vmx_state
 module Kernel_costs = Armvirt_guest.Kernel_costs
 module Esr = Armvirt_arch.Esr
-module Accounting = Armvirt_obs.Accounting
+module Marker = Armvirt_obs.Marker
 
 type tuning = {
   dispatch : int;
@@ -100,14 +100,14 @@ let given_domu_blocked ?(pcpu = domu_pcpu) t =
    mode, so its traps are plain spends, matching real kvm_stat scope. *)
 let exit_vm ?(pcpu = domu_pcpu) ?(reason = Esr.Hvc64) t =
   Machine.count t.machine
-    (Accounting.exit_label ~hyp:"xen_x86" ~reason:(Esr.short_name reason) ~pcpu);
+    (Marker.exit ~hyp:"xen_x86" ~reason:(Esr.marker_reason reason) ~pcpu);
   Vmx_state.vmexit t.world.(pcpu);
   X86_ops.vmexit t.ops
 
 let resume_vm ?(pcpu = domu_pcpu) t =
   X86_ops.vmentry t.ops;
   Vmx_state.vmentry t.world.(pcpu);
-  Machine.count t.machine (Accounting.entry_label ~hyp:"xen_x86" ~pcpu ())
+  Machine.count t.machine (Marker.entry ~hyp:"xen_x86" ~pcpu ())
 
 let hypercall t =
   Machine.count t.machine "xen_x86.hypercall";

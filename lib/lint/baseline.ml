@@ -1,0 +1,231 @@
+(* The ratchet: a committed LINT_baseline.json grandfathers known
+   findings per (file, rule) so new rules can land with the repo still
+   gating. Semantics:
+
+   - a finding beyond the baselined count for its (file, rule) is
+     FRESH and fails the run;
+   - findings within the count are GRANDFATHERED and render as
+     warnings;
+   - a baselined count higher than what the tree now produces is STALE
+     and also fails the run — the baseline may only shrink, and the
+     shrink must be committed (--update-baseline writes it).
+
+   Counts rather than line numbers key the ratchet, so unrelated edits
+   that shift code do not churn the file. Within one (file, rule) the
+   findings sorted by (line, col) fill the grandfathered quota first;
+   the attribution is deterministic even if not always the historically
+   "same" site, which is the price of line-independence. *)
+
+type entry = { file : string; rule : Rules.id; count : int }
+
+type t = entry list (* sorted by (file, rule) *)
+
+let version = 1
+
+let compare_entry a b =
+  match String.compare a.file b.file with
+  | 0 -> String.compare (Rules.to_string a.rule) (Rules.to_string b.rule)
+  | c -> c
+
+let empty : t = []
+
+(* --- building from findings ------------------------------------------ *)
+
+let of_findings findings =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Pass.finding) ->
+      let key = (f.Pass.file, f.Pass.rule) in
+      match Hashtbl.find_opt tbl key with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl key (ref 1))
+    findings;
+  Hashtbl.fold
+    (fun (file, rule) count acc -> { file; rule; count = !count } :: acc)
+    tbl []
+  |> List.sort compare_entry
+
+(* --- the check -------------------------------------------------------- *)
+
+type verdict = {
+  fresh : Pass.finding list;
+  grandfathered : Pass.finding list;
+  stale : entry list;  (* baselined counts the tree no longer produces *)
+}
+
+let check (baseline : t) findings =
+  let quota = Hashtbl.create 16 in
+  List.iter
+    (fun e -> Hashtbl.replace quota (e.file, Rules.to_string e.rule) e.count)
+    baseline;
+  let fresh = ref [] and grandfathered = ref [] in
+  List.iter
+    (fun (f : Pass.finding) ->
+      let key = (f.Pass.file, Rules.to_string f.Pass.rule) in
+      match Hashtbl.find_opt quota key with
+      | Some n when n > 0 ->
+          Hashtbl.replace quota key (n - 1);
+          grandfathered := f :: !grandfathered
+      | _ -> fresh := f :: !fresh)
+    (List.sort
+       (fun (a : Pass.finding) b ->
+         match String.compare a.Pass.file b.Pass.file with
+         | 0 -> Pass.compare_finding a b
+         | c -> c)
+       findings);
+  let stale =
+    List.filter_map
+      (fun e ->
+        match Hashtbl.find_opt quota (e.file, Rules.to_string e.rule) with
+        | Some n when n > 0 -> Some { e with count = n }
+        | _ -> None)
+      baseline
+  in
+  {
+    fresh = List.rev !fresh;
+    grandfathered = List.rev !grandfathered;
+    stale;
+  }
+
+(* --- rendering -------------------------------------------------------- *)
+
+let render (t : t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"version\": %d,\n  \"entries\": [" version);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"file\": \"%s\", \"rule\": \"%s\", \
+                         \"count\": %d }"
+           e.file (Rules.to_string e.rule) e.count))
+    t;
+  if t <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+(* --- parsing ---------------------------------------------------------- *)
+(* A strict recursive-descent parser for exactly the schema [render]
+   emits (whitespace-insensitive). No escapes are needed: files are
+   repo-relative source paths. *)
+
+exception Bad of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then incr pos
+    else raise (Bad (Printf.sprintf "expected %c at offset %d" c !pos))
+  in
+  let peek () =
+    skip_ws ();
+    if !pos < n then Some s.[!pos] else None
+  in
+  let string_ () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && s.[!pos] <> '"' do
+      if s.[!pos] = '\\' then raise (Bad "escapes not supported");
+      incr pos
+    done;
+    if !pos >= n then raise (Bad "unterminated string");
+    let v = String.sub s start (!pos - start) in
+    incr pos;
+    v
+  in
+  let int_ () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n && (match s.[!pos] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr pos
+    done;
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "expected integer at offset %d" start))
+  in
+  let key () =
+    let k = string_ () in
+    expect ':';
+    k
+  in
+  let entry () =
+    expect '{';
+    let file = ref None and rule = ref None and count = ref None in
+    let rec fields () =
+      (match key () with
+      | "file" -> file := Some (string_ ())
+      | "rule" -> rule := Some (string_ ())
+      | "count" -> count := Some (int_ ())
+      | k -> raise (Bad ("unknown entry key " ^ k)));
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          fields ()
+      | _ -> expect '}'
+    in
+    fields ();
+    match (!file, !rule, !count) with
+    | Some file, Some rule_s, Some count -> (
+        match Rules.of_string rule_s with
+        | Some rule when count >= 0 -> { file; rule; count }
+        | Some _ -> raise (Bad "negative count")
+        | None -> raise (Bad ("unknown rule " ^ rule_s)))
+    | _ -> raise (Bad "entry missing file/rule/count")
+  in
+  try
+    expect '{';
+    (match key () with
+    | "version" ->
+        let v = int_ () in
+        if v <> version then
+          raise (Bad (Printf.sprintf "unsupported baseline version %d" v))
+    | k -> raise (Bad ("expected version, got " ^ k)));
+    expect ',';
+    (match key () with
+    | "entries" -> ()
+    | k -> raise (Bad ("expected entries, got " ^ k)));
+    expect '[';
+    let entries =
+      match peek () with
+      | Some ']' ->
+          incr pos;
+          []
+      | _ ->
+          let rec loop acc =
+            let e = entry () in
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                loop (e :: acc)
+            | _ ->
+                expect ']';
+                List.rev (e :: acc)
+          in
+          loop []
+    in
+    expect '}';
+    Ok (List.sort compare_entry entries)
+  with Bad msg -> Error msg
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let source =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse source

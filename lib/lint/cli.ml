@@ -22,7 +22,7 @@ let rules_arg =
   Arg.(
     value & opt_all string []
     & info [ "rules" ] ~docv:"IDS"
-        ~doc:"Only run these rules (comma-separable, repeatable), e.g. R1,R4.")
+        ~doc:"Only run these rules (comma-separable, repeatable), e.g. R1,U1.")
 
 let skip_rules_arg =
   Arg.(
@@ -36,33 +36,72 @@ let out_arg =
     & info [ "o"; "out" ] ~docv:"FILE"
         ~doc:"Write the report to $(docv); $(b,-) (default) is stdout.")
 
-let run format only skip root out =
-  Driver.run ~format ~only ~skip ?root ?out ()
+let baseline_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Ratchet file (LINT_baseline.json). Findings within its (file, \
+           rule) counts are grandfathered warnings; anything beyond is \
+           fresh and fails, as does a count the tree no longer produces \
+           (stale). Resolved against the cwd, then the repo root.")
+
+let update_baseline_arg =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:
+          "Rewrite $(b,--baseline) from the current findings instead of \
+           reporting. The ratchet only turns one way: review the diff — \
+           it should only shrink.")
+
+let explain_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "explain" ] ~docv:"RULE"
+        ~doc:"Print the long-form rationale for a rule id and exit.")
+
+let run format only skip root out baseline update_baseline explain =
+  match explain with
+  | Some rule -> Driver.explain rule
+  | None ->
+      Driver.run ~format ~only ~skip ?root ?out ?baseline ~update_baseline ()
 
 let term =
   Term.(
-    const run $ format_arg $ rules_arg $ skip_rules_arg $ root_arg $ out_arg)
+    const run $ format_arg $ rules_arg $ skip_rules_arg $ root_arg $ out_arg
+    $ baseline_arg $ update_baseline_arg $ explain_arg)
 
 let doc =
-  "statically check the simulator's determinism invariants (rules R1-R7)"
+  "statically check the simulator's determinism, unit, marker and capture \
+   invariants"
 
 let man =
   [
     `S Manpage.s_description;
     `P
       "Parses every .ml/.mli under lib/, bin/ and bench/ with compiler-libs \
-       and reports violations of the reproducibility invariants: seeded \
-       randomness only (R1), no wall-clock in lib/ (R2), no unsorted \
-       Hashtbl iteration escaping to reports (R3), parallelism only behind \
-       Runner.map (R4), explicit comparators in engine/stats (R5), mutable \
-       top-level state only in the designated registries (R6), and no \
-       direct stdout printing in lib/ (R7).";
+       and runs four analysis passes: $(b,determinism) — seeded randomness \
+       only (R1), no wall-clock in lib/ (R2), no unsorted Hashtbl iteration \
+       escaping to reports (R3), parallelism only behind Runner.map (R4), \
+       explicit comparators in engine/stats (R5), mutable top-level state \
+       only in the designated registries (R6), no direct stdout printing in \
+       lib/ (R7); $(b,units) — no arithmetic or comparison across \
+       incompatible inferred units of measure (U1) and no unit-less \
+       literals entering unit-typed positions outside named converters \
+       (U2); $(b,markers) — every literal observability marker label must \
+       parse under the exit/op/vswitch grammars with a known exit reason \
+       (M1); $(b,capture) — closures crossing Runner.map must not capture \
+       mutable toplevel state outside the R6 registries (D1). Use \
+       $(b,--explain RULE) for the full rationale of any rule.";
     `P
-      "Exits 0 when clean, 1 on any unsuppressed finding, 2 on usage \
-       errors. Audited sites are marked in-source with (* lint: sorted *), \
-       (* lint: allow R6 reason *) or file-wide (* lint: disable R2 *).";
+      "Exits 0 when clean (grandfathered findings under $(b,--baseline) \
+       only warn), 1 on any fresh finding or stale baseline residue, 2 on \
+       usage errors. Audited sites are marked in-source with (* lint: \
+       sorted *), (* lint: unit us reason *), (* lint: allow R6 reason *) \
+       or file-wide (* lint: disable R2 *).";
   ]
 
-let cmd = Cmd.v (Cmd.info "armvirt-lint" ~version:"1.0.0" ~doc ~man) term
+let cmd = Cmd.v (Cmd.info "armvirt-lint" ~version:"2.0.0" ~doc ~man) term
 
 let main () = exit (Cmd.eval' cmd)

@@ -1,0 +1,200 @@
+(* The determinism pass: rules R1-R7 over one compilation unit.
+
+   The pass is purely syntactic — no typing environment — so the rules are
+   written to be conservative and low-noise rather than complete:
+
+   - R3 uses a structure-item heuristic: a [Hashtbl.iter]/[Hashtbl.fold]
+     is accepted when the same top-level item also applies a sort
+     ([List.sort], [List.sort_uniq], [List.stable_sort], [Array.sort], ...)
+     somewhere, which covers the repo's fold-then-sort idiom; anything
+     else needs an audited [(* lint: sorted *)] marker.
+   - R5 flags the polymorphic [compare] identifier itself, plus
+     (in)equality operators with a float-literal or lambda operand. *)
+
+open Parsetree
+
+let flatten = Pass.flatten
+let dotted = Pass.dotted
+
+let sort_names = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let is_sort_ident lid =
+  match flatten lid with
+  | [ _; name ] -> List.mem name sort_names
+  | _ -> false
+
+let wall_clock_idents =
+  [
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Sys"; "time" ];
+    [ "Random"; "self_init" ];
+  ]
+
+let print_idents =
+  [
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_newline" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "Printf"; "printf" ];
+    [ "Format"; "printf" ];
+    [ "Stdlib"; "print_endline" ];
+    [ "Stdlib"; "print_string" ];
+  ]
+
+let poly_compare_idents =
+  [ [ "compare" ]; [ "Stdlib"; "compare" ]; [ "Pervasives"; "compare" ] ]
+
+let equality_ops = [ "="; "<>"; "=="; "!=" ]
+
+(* Per-file mutable pass state, threaded through the iterator closures. *)
+type state = { mutable sorted_item : bool }
+
+let is_float_lit e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let is_lambda e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+let check_ident ctx lid (loc : Location.t) =
+  let segs = flatten lid in
+  (match segs with
+  | "Random" :: _ ->
+      Pass.emit ctx Rules.R1 loc
+        (Printf.sprintf
+           "use of %s: all randomness must flow through seeded Engine.Rng"
+           (dotted segs))
+  | _ -> ());
+  if List.mem segs wall_clock_idents then
+    Pass.emit ctx Rules.R2 loc
+      (Printf.sprintf
+         "wall-clock/process-entropy call %s breaks run-to-run reproducibility"
+         (dotted segs));
+  (match segs with
+  | [ "Domain"; ("spawn" | "join") ] ->
+      Pass.emit ctx Rules.R4 loc
+        (Printf.sprintf
+           "%s outside Runner: parallelism must use Runner.map's \
+            deterministic merge"
+           (dotted segs))
+  | _ -> ());
+  if List.mem segs poly_compare_idents then
+    Pass.emit ctx Rules.R5 loc
+      (Printf.sprintf
+         "polymorphic %s: results on float-bearing values depend on \
+          representation, not arithmetic order"
+         (dotted segs));
+  if List.mem segs print_idents then
+    Pass.emit ctx Rules.R7 loc
+      (Printf.sprintf "%s writes to stdout, bypassing Report/Export"
+         (dotted segs))
+
+let check_hashtbl_iteration ctx st e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) -> (
+      match flatten txt with
+      | [ "Hashtbl"; (("iter" | "fold") as f) ] ->
+          if not st.sorted_item then
+            Pass.emit ctx Rules.R3 loc
+              (Printf.sprintf
+                 "Hashtbl.%s result may escape in hash order (no sort in \
+                  this definition)"
+                 f)
+      | _ -> ())
+  | _ -> ()
+
+let check_r5_equality ctx e =
+  match e.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident op; loc }; _ },
+        [ (_, a); (_, b) ] )
+    when List.mem op equality_ops ->
+      if is_float_lit a || is_float_lit b then
+        Pass.emit ctx Rules.R5 loc
+          (Printf.sprintf
+             "(%s) on a float literal: use Float.equal/Float.compare" op)
+      else if is_lambda a || is_lambda b then
+        Pass.emit ctx Rules.R5 loc
+          (Printf.sprintf "(%s) on a functional value raises at runtime" op)
+  | _ -> ()
+
+(* R6: a structure-level [let] whose right-hand side allocates mutable
+   state. Type constraints, let-ins and sequences are unwrapped; functions
+   are not flagged (they allocate per call, not per module). *)
+let check_r6_binding ctx vb =
+  let rhs = Pass.alloc_root vb.pvb_expr in
+  match rhs.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flatten txt with
+      | [ "ref" ] | [ "Stdlib"; "ref" ] ->
+          Pass.emit ctx Rules.R6 vb.pvb_loc
+            "top-level ref: shared mutable state outside the designated \
+             registries"
+      | [ "Hashtbl"; "create" ] ->
+          Pass.emit ctx Rules.R6 vb.pvb_loc
+            "top-level Hashtbl: shared mutable state outside the designated \
+             registries"
+      | _ -> ())
+  | _ -> ()
+
+let item_contains_sort item =
+  let found = ref false in
+  let expr sub e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } when is_sort_ident txt -> found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.expr sub e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure_item it item;
+  !found
+
+let make_iterator ctx st =
+  let expr sub e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident ctx txt loc
+    | _ -> ());
+    check_hashtbl_iteration ctx st e;
+    check_r5_equality ctx e;
+    Ast_iterator.default_iterator.expr sub e
+  in
+  let module_expr sub m =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } when flatten txt = [ "Random" ] ->
+        Pass.emit ctx Rules.R1 loc
+          "aliasing/opening Random: all randomness must flow through \
+           Engine.Rng"
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr sub m
+  in
+  let structure_item sub item =
+    let outer = st.sorted_item in
+    st.sorted_item <- item_contains_sort item;
+    (match item.pstr_desc with
+    | Pstr_value (_, bindings) -> List.iter (check_r6_binding ctx) bindings
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item sub item;
+    st.sorted_item <- outer
+  in
+  { Ast_iterator.default_iterator with expr; module_expr; structure_item }
+
+let run ctx (ast : Pass.ast) =
+  let st = { sorted_item = false } in
+  let it = make_iterator ctx st in
+  match ast with
+  | Pass.Impl str -> it.structure it str
+  | Pass.Intf sg -> it.signature it sg
+
+let pass =
+  {
+    Pass.name = "determinism";
+    rules = Rules.[ R1; R2; R3; R4; R5; R6; R7 ];
+    run;
+  }

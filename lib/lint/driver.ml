@@ -1,6 +1,7 @@
 (* File discovery and orchestration for a whole-repo lint run. Everything
    here is deterministic: directory listings are sorted, findings are
-   sorted, and output is rendered by Report. *)
+   sorted, per-pass timings accumulate in registration order, and output
+   is rendered by Report. *)
 
 let scanned_dirs = [ "lib"; "bin"; "bench" ]
 
@@ -60,24 +61,74 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_tree ?(rules = Rules.all) ~root () =
+let sort_by_file findings =
+  List.sort
+    (fun (a : Engine.finding) b ->
+      match String.compare a.Engine.file b.Engine.file with
+      | 0 -> Engine.compare_finding a b
+      | c -> c)
+    findings
+
+(* Per-pass wall time and post-suppression finding counts, accumulated
+   across every file in registration order. Every registered pass gets a
+   row even when path scoping skipped it everywhere — the report shape
+   stays stable as the tree changes. *)
+let pass_stats ~timings findings =
+  List.map
+    (fun (p : Pass.t) ->
+      let seconds =
+        List.fold_left
+          (fun acc (name, dt) -> if name = p.Pass.name then acc +. dt else acc)
+          0. timings
+      in
+      {
+        Report.pass = p.Pass.name;
+        pass_rules = p.Pass.rules;
+        duration_ms = seconds *. 1000.;
+        pass_findings =
+          List.length
+            (List.filter
+               (fun (f : Engine.finding) -> List.mem f.Engine.rule p.Pass.rules)
+               findings);
+      })
+    Engine.passes
+
+let sort_by_file_tagged tagged =
+  List.sort
+    (fun ((a : Engine.finding), _) (b, _) ->
+      match String.compare a.Engine.file b.Engine.file with
+      | 0 -> Engine.compare_finding a b
+      | c -> c)
+    tagged
+
+let lint_tree ?(rules = Rules.all) ?(baseline = Baseline.empty) ~root () =
   let files = scan_files ~root in
-  let findings, suppressed =
+  let findings, suppressed, timings =
     List.fold_left
-      (fun (fs, sup) relpath ->
+      (fun (fs, sup, ts) relpath ->
         let source = read_file (Filename.concat root relpath) in
         match Engine.lint_source ~rules ~relpath source with
-        | r -> (r.Engine.findings :: fs, sup + r.Engine.suppressed)
+        | r -> (r.Engine.findings :: fs, sup + r.Engine.suppressed,
+                List.rev_append r.Engine.timings ts)
         | exception Engine.Parse_error msg ->
             prerr_endline ("armvirt-lint: skipping unparseable " ^ msg);
-            (fs, sup))
-      ([], 0) files
+            (fs, sup, ts))
+      ([], 0, []) files
   in
+  let findings = sort_by_file (List.concat findings) in
+  let verdict = Baseline.check baseline findings in
   {
     Report.root;
     files_scanned = List.length files;
-    findings = List.concat (List.rev findings);
     suppressed;
+    passes = pass_stats ~timings findings;
+    findings =
+      sort_by_file_tagged
+        (List.map (fun f -> (f, Report.Fresh)) verdict.Baseline.fresh
+        @ List.map
+            (fun f -> (f, Report.Grandfathered))
+            verdict.Baseline.grandfathered);
+    stale = verdict.Baseline.stale;
   }
 
 let parse_rule_args specs =
@@ -93,24 +144,91 @@ let select_rules ~only ~skip =
   let base = if only = [] then Rules.all else only in
   List.filter (fun r -> not (List.mem r skip)) base
 
-(* Returns the process exit code: 0 clean, 1 findings, 2 usage error. *)
-let run ?(format = Report.Text) ?(only = []) ?(skip = []) ?root ?out () =
+(* --- --explain --------------------------------------------------------- *)
+
+let explain rule_spec =
+  match Rules.of_string rule_spec with
+  | None ->
+      prerr_endline
+        (Printf.sprintf
+           "armvirt-lint: unknown rule %S (known: %s)" rule_spec
+           (String.concat " " (List.map Rules.to_string Rules.all)));
+      2
+  | Some rule ->
+      output_string stdout
+        (Printf.sprintf "%s — %s\nseverity: %s  pass: %s\n\n%s\n\nhint: %s\n"
+           (Rules.to_string rule) (Rules.summary rule)
+           (Rules.severity_to_string (Rules.severity rule))
+           (Engine.pass_of_rule rule) (Rules.explain rule) (Rules.hint rule));
+      flush stdout;
+      0
+
+(* --- baseline resolution ----------------------------------------------- *)
+
+(* The path is tried as given (relative to cwd) and, failing that,
+   relative to the repo root — dune rules run from _build, users run
+   from wherever. *)
+let resolve_baseline_path ~root path =
+  if Sys.file_exists path then path else Filename.concat root path
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Returns the process exit code: 0 clean (grandfathered findings allowed),
+   1 fresh findings or stale baseline residue, 2 usage error. *)
+let run ?(format = Report.Text) ?(only = []) ?(skip = []) ?root ?out ?baseline
+    ?(update_baseline = false) () =
   match select_rules ~only ~skip with
   | exception Invalid_argument msg ->
       prerr_endline ("armvirt-lint: " ^ msg);
       2
-  | rules ->
+  | rules -> (
       let root = match root with Some r -> r | None -> find_root () in
-      let report = lint_tree ~rules ~root () in
-      let rendered = Report.render format report in
-      (match out with
-      | None | Some "-" ->
-          output_string stdout rendered;
-          flush stdout
-      | Some path ->
-          let oc = open_out_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () -> output_string oc rendered))
-      ;
-      if report.Report.findings = [] then 0 else 1
+      let baseline_path =
+        Option.map (resolve_baseline_path ~root) baseline
+      in
+      if update_baseline && baseline_path = None then begin
+        prerr_endline "armvirt-lint: --update-baseline requires --baseline";
+        2
+      end
+      else
+        let known =
+          match baseline_path with
+          | None -> Ok Baseline.empty
+          | Some path when update_baseline && not (Sys.file_exists path) ->
+              (* First ratchet write: an absent file is an empty baseline. *)
+              Ok Baseline.empty
+          | Some path -> Baseline.load path
+        in
+        match known with
+        | Error msg ->
+            prerr_endline
+              (Printf.sprintf "armvirt-lint: bad baseline %s: %s"
+                 (Option.value baseline_path ~default:"?")
+                 msg);
+            2
+        | Ok known ->
+            let report = lint_tree ~rules ~baseline:known ~root () in
+            if update_baseline then begin
+              let path = Option.get baseline_path in
+              let all = List.map fst report.Report.findings in
+              write_file path (Baseline.render (Baseline.of_findings all));
+              output_string stdout
+                (Printf.sprintf
+                   "armvirt-lint: wrote %s (%d findings grandfathered)\n" path
+                   (List.length all));
+              flush stdout;
+              0
+            end
+            else begin
+              let rendered = Report.render format report in
+              (match out with
+              | None | Some "-" ->
+                  output_string stdout rendered;
+                  flush stdout
+              | Some path -> write_file path rendered);
+              if Report.clean report then 0 else 1
+            end)

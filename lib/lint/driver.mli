@@ -10,9 +10,15 @@ val find_root : unit -> string
     [_build] components first (so it works from dune test and rule
     sandboxes), then walking up to the nearest [dune-project]. *)
 
-val lint_tree : ?rules:Rules.id list -> root:string -> unit -> Report.t
-(** Lint every scanned file under [root]. Unparseable files are reported
-    on stderr and skipped. *)
+val lint_tree :
+  ?rules:Rules.id list -> ?baseline:Baseline.t -> root:string -> unit -> Report.t
+(** Lint every scanned file under [root], then split findings into fresh
+    vs grandfathered against [baseline] (default: empty, i.e. everything
+    fresh). Unparseable files are reported on stderr and skipped. *)
+
+val explain : string -> int
+(** Print the long-form rationale for a rule id ([--explain]). Returns
+    the exit code: 0 on a known rule, 2 otherwise. *)
 
 val run :
   ?format:Report.format ->
@@ -20,9 +26,15 @@ val run :
   ?skip:string list ->
   ?root:string ->
   ?out:string ->
+  ?baseline:string ->
+  ?update_baseline:bool ->
   unit ->
   int
 (** CLI entry point shared by [armvirt-lint] and [armvirt lint]. [only] and
     [skip] are comma-separable rule-id lists ([--rules]/[--skip-rules]).
-    [out] of [None] or ["-"] writes to stdout. Returns the exit code:
-    0 clean, 1 unsuppressed findings, 2 usage error. *)
+    [out] of [None] or ["-"] writes to stdout. [baseline] names the
+    ratchet file ([--baseline]), resolved against the cwd then the repo
+    root; with [update_baseline] the current findings are written back to
+    it instead of reported. Returns the exit code: 0 clean (grandfathered
+    findings allowed), 1 fresh findings or stale baseline residue, 2
+    usage error. *)

@@ -1,18 +1,9 @@
-(* The analysis pass proper: parse one compilation unit with compiler-libs
-   and walk the Parsetree with an [Ast_iterator], emitting findings.
+(* The multi-pass analysis engine: parse one compilation unit with
+   compiler-libs, then run every registered pass whose rules are active
+   for the file, timing each. Suppression directives are applied once
+   over the union of all passes' candidate findings. *)
 
-   The pass is purely syntactic — no typing environment — so the rules are
-   written to be conservative and low-noise rather than complete:
-
-   - R3 uses a structure-item heuristic: a [Hashtbl.iter]/[Hashtbl.fold]
-     is accepted when the same top-level item also applies a sort
-     ([List.sort], [List.sort_uniq], [List.stable_sort], [Array.sort], ...)
-     somewhere, which covers the repo's fold-then-sort idiom; anything
-     else needs an audited [(* lint: sorted *)] marker.
-   - R5 flags the polymorphic [compare] identifier itself, plus
-     (in)equality operators with a float-literal or lambda operand. *)
-
-type finding = {
+type finding = Pass.finding = {
   rule : Rules.id;
   file : string;
   line : int;
@@ -20,216 +11,26 @@ type finding = {
   message : string;
 }
 
-type result = { findings : finding list; suppressed : int }
+type result = {
+  findings : finding list;
+  suppressed : int;
+  timings : (string * float) list;
+      (* (pass name, seconds spent on this file), registration order *)
+}
 
 exception Parse_error of string
 
-let compare_finding a b =
-  match compare (a.line, a.col) (b.line, b.col) with
-  | 0 -> String.compare (Rules.to_string a.rule) (Rules.to_string b.rule)
-  | c -> c
+let compare_finding = Pass.compare_finding
 
-(* --- identifier classification -------------------------------------- *)
+(* Registration order is report order; a pass declares the rules it can
+   emit and is skipped entirely when none of them apply to the file. *)
+let passes : Pass.t list =
+  [ Determinism.pass; Units.pass; Markers.pass; Capture.pass ]
 
-let flatten lid = try Longident.flatten lid with _ -> []
-
-let sort_names = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
-
-let is_sort_ident lid =
-  match flatten lid with
-  | [ _; name ] -> List.mem name sort_names
-  | _ -> false
-
-let wall_clock_idents =
-  [
-    [ "Unix"; "gettimeofday" ];
-    [ "Unix"; "time" ];
-    [ "Sys"; "time" ];
-    [ "Random"; "self_init" ];
-  ]
-
-let print_idents =
-  [
-    [ "print_endline" ];
-    [ "print_string" ];
-    [ "print_newline" ];
-    [ "print_char" ];
-    [ "print_int" ];
-    [ "print_float" ];
-    [ "Printf"; "printf" ];
-    [ "Format"; "printf" ];
-    [ "Stdlib"; "print_endline" ];
-    [ "Stdlib"; "print_string" ];
-  ]
-
-let poly_compare_idents =
-  [ [ "compare" ]; [ "Stdlib"; "compare" ]; [ "Pervasives"; "compare" ] ]
-
-let equality_ops = [ "="; "<>"; "=="; "!=" ]
-
-let dotted segs = String.concat "." segs
-
-(* --- the iterator ---------------------------------------------------- *)
-
-open Parsetree
-
-type ctx = {
-  relpath : string;
-  active : Rules.id list;
-  mutable raw : finding list; (* candidates, suppression applied later *)
-  mutable sorted_item : bool; (* current structure item contains a sort *)
-}
-
-let emit ctx rule (loc : Location.t) message =
-  if List.mem rule ctx.active && Rules.applies ~relpath:ctx.relpath rule then
-    ctx.raw <-
-      {
-        rule;
-        file = ctx.relpath;
-        line = loc.loc_start.pos_lnum;
-        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
-        message;
-      }
-      :: ctx.raw
-
-let is_float_lit e =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | _ -> false
-
-let is_lambda e =
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ -> true
-  | _ -> false
-
-let check_ident ctx lid (loc : Location.t) =
-  let segs = flatten lid in
-  (match segs with
-  | "Random" :: _ ->
-      emit ctx Rules.R1 loc
-        (Printf.sprintf
-           "use of %s: all randomness must flow through seeded Engine.Rng"
-           (dotted segs))
-  | _ -> ());
-  if List.mem segs wall_clock_idents then
-    emit ctx Rules.R2 loc
-      (Printf.sprintf
-         "wall-clock/process-entropy call %s breaks run-to-run reproducibility"
-         (dotted segs));
-  (match segs with
-  | [ "Domain"; ("spawn" | "join") ] ->
-      emit ctx Rules.R4 loc
-        (Printf.sprintf
-           "%s outside Runner: parallelism must use Runner.map's \
-            deterministic merge"
-           (dotted segs))
-  | _ -> ());
-  if List.mem segs poly_compare_idents then
-    emit ctx Rules.R5 loc
-      (Printf.sprintf
-         "polymorphic %s: results on float-bearing values depend on \
-          representation, not arithmetic order"
-         (dotted segs));
-  if List.mem segs print_idents then
-    emit ctx Rules.R7 loc
-      (Printf.sprintf "%s writes to stdout, bypassing Report/Export"
-         (dotted segs))
-
-let check_hashtbl_iteration ctx e =
-  match e.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) -> (
-      match flatten txt with
-      | [ "Hashtbl"; (("iter" | "fold") as f) ] ->
-          if not ctx.sorted_item then
-            emit ctx Rules.R3 loc
-              (Printf.sprintf
-                 "Hashtbl.%s result may escape in hash order (no sort in \
-                  this definition)"
-                 f)
-      | _ -> ())
-  | _ -> ()
-
-let check_r5_equality ctx e =
-  match e.pexp_desc with
-  | Pexp_apply
-      ( { pexp_desc = Pexp_ident { txt = Lident op; loc }; _ },
-        [ (_, a); (_, b) ] )
-    when List.mem op equality_ops ->
-      if is_float_lit a || is_float_lit b then
-        emit ctx Rules.R5 loc
-          (Printf.sprintf
-             "(%s) on a float literal: use Float.equal/Float.compare" op)
-      else if is_lambda a || is_lambda b then
-        emit ctx Rules.R5 loc
-          (Printf.sprintf "(%s) on a functional value raises at runtime" op)
-  | _ -> ()
-
-(* R6: a structure-level [let] whose right-hand side allocates mutable
-   state. Type constraints, let-ins and sequences are unwrapped; functions
-   are not flagged (they allocate per call, not per module). *)
-let rec alloc_root e =
-  match e.pexp_desc with
-  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> alloc_root e
-  | Pexp_let (_, _, e) | Pexp_sequence (_, e) | Pexp_open (_, e) ->
-      alloc_root e
-  | _ -> e
-
-let check_r6_binding ctx vb =
-  let rhs = alloc_root vb.pvb_expr in
-  match rhs.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-      match flatten txt with
-      | [ "ref" ] | [ "Stdlib"; "ref" ] ->
-          emit ctx Rules.R6 vb.pvb_loc
-            "top-level ref: shared mutable state outside the designated \
-             registries"
-      | [ "Hashtbl"; "create" ] ->
-          emit ctx Rules.R6 vb.pvb_loc
-            "top-level Hashtbl: shared mutable state outside the designated \
-             registries"
-      | _ -> ())
-  | _ -> ()
-
-let item_contains_sort item =
-  let found = ref false in
-  let expr sub e =
-    (match e.pexp_desc with
-    | Pexp_ident { txt; _ } when is_sort_ident txt -> found := true
-    | _ -> ());
-    Ast_iterator.default_iterator.expr sub e
-  in
-  let it = { Ast_iterator.default_iterator with expr } in
-  it.structure_item it item;
-  !found
-
-let make_iterator ctx =
-  let expr sub e =
-    (match e.pexp_desc with
-    | Pexp_ident { txt; loc } -> check_ident ctx txt loc
-    | _ -> ());
-    check_hashtbl_iteration ctx e;
-    check_r5_equality ctx e;
-    Ast_iterator.default_iterator.expr sub e
-  in
-  let module_expr sub m =
-    (match m.pmod_desc with
-    | Pmod_ident { txt; loc } when flatten txt = [ "Random" ] ->
-        emit ctx Rules.R1 loc
-          "aliasing/opening Random: all randomness must flow through \
-           Engine.Rng"
-    | _ -> ());
-    Ast_iterator.default_iterator.module_expr sub m
-  in
-  let structure_item sub item =
-    let outer = ctx.sorted_item in
-    ctx.sorted_item <- item_contains_sort item;
-    (match item.pstr_desc with
-    | Pstr_value (_, bindings) -> List.iter (check_r6_binding ctx) bindings
-    | _ -> ());
-    Ast_iterator.default_iterator.structure_item sub item;
-    ctx.sorted_item <- outer
-  in
-  { Ast_iterator.default_iterator with expr; module_expr; structure_item }
+let pass_of_rule rule =
+  match List.find_opt (fun p -> List.mem rule p.Pass.rules) passes with
+  | Some p -> p.Pass.name
+  | None -> "?"
 
 (* --- entry point ------------------------------------------------------ *)
 
@@ -238,26 +39,42 @@ let parse ~relpath source =
   Lexing.set_filename lexbuf relpath;
   try
     if Filename.check_suffix relpath ".mli" then
-      `Interface (Parse.interface lexbuf)
-    else `Implementation (Parse.implementation lexbuf)
+      Pass.Intf (Parse.interface lexbuf)
+    else Pass.Impl (Parse.implementation lexbuf)
   with exn ->
     raise
       (Parse_error (Printf.sprintf "%s: %s" relpath (Printexc.to_string exn)))
 
-let lint_source ?(rules = Rules.all) ~relpath source =
+(* Host wall-clock, for the per-pass diagnostic timings in the v2
+   report; never part of a byte-compared artifact. *)
+let default_clock () = Sys.time () (* lint: allow R2 pass-timing diagnostics *)
+
+let lint_source ?(rules = Rules.all) ?(clock = default_clock) ~relpath source
+    =
   let sup = Suppress.of_source source in
   let active =
     List.filter (fun r -> not (Suppress.file_disabled sup r)) rules
   in
-  let ctx = { relpath; active; raw = []; sorted_item = false } in
-  let it = make_iterator ctx in
-  (match parse ~relpath source with
-  | `Implementation str -> it.structure it str
-  | `Interface sg -> it.signature it sg);
+  let ctx = { Pass.relpath; active; raw = [] } in
+  let ast = parse ~relpath source in
+  let timings =
+    List.filter_map
+      (fun (p : Pass.t) ->
+        if Pass.relevant p ctx then begin
+          let t0 = clock () in
+          p.Pass.run ctx ast;
+          Some (p.Pass.name, clock () -. t0)
+        end
+        else None)
+      passes
+  in
   let suppressed, findings =
     List.partition
-      (fun f -> Suppress.allowed sup f.rule ~line:f.line)
-      ctx.raw
+      (fun (f : finding) -> Suppress.allowed sup f.rule ~line:f.line)
+      ctx.Pass.raw
   in
-  { findings = List.sort compare_finding findings;
-    suppressed = List.length suppressed }
+  {
+    findings = List.sort compare_finding findings;
+    suppressed = List.length suppressed;
+    timings;
+  }

@@ -1,10 +1,21 @@
-(** Rule identities, severities and path scoping for the determinism linter.
+(** Rule identities, severities and path scoping for the static-analysis
+    framework.
 
-    Each rule protects one reproducibility invariant of the simulator:
-    bit-for-bit identical reports, traces and statistics for a given seed,
-    regardless of host, wall-clock or [--jobs] level. *)
+    Rules come in families, each implemented by one registered pass
+    (see {!Engine.passes}):
 
-type id = R1 | R2 | R3 | R4 | R5 | R6 | R7
+    - [R1]-[R7]: the determinism invariants — bit-for-bit identical
+      reports, traces and statistics for a given seed, regardless of
+      host, wall-clock or [--jobs] level.
+    - [U1]/[U2]: units-of-measure inference over identifier suffixes —
+      the cost arithmetic composing cycles, microseconds, bytes and
+      Gbps must never mix dimensions silently.
+    - [M1]: the stat-marker label grammar — a typo in an exit/entry
+      label silently drops rows from [armvirt stat].
+    - [D1]: cross-domain capture — closures fanned out through
+      [Runner.map] must not touch mutable toplevel state. *)
+
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | U1 | U2 | M1 | D1
 
 type severity = Error | Warning
 
@@ -25,6 +36,11 @@ val summary : id -> string
 val hint : id -> string
 (** How to fix a finding. *)
 
+val explain : id -> string
+(** The long-form rationale shown by [armvirt lint --explain RULE]:
+    what the rule flags, why the invariant matters, and the audited
+    suppression form. *)
+
 val rng_module : string
 (** The only file allowed to use stdlib [Random] (R1 allowlist). *)
 
@@ -32,7 +48,8 @@ val runner_module : string
 (** The only file allowed to use [Domain.spawn]/[Domain.join] (R4). *)
 
 val registry_modules : string list
-(** Files whose top-level mutable state is the designated registry (R6). *)
+(** Files whose top-level mutable state is the designated registry
+    (R6 allowlist, and D1's exempt capture targets). *)
 
 val applies : relpath:string -> id -> bool
 (** Whether a rule is in scope for a '/'-separated repo-relative path. *)

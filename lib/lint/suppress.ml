@@ -1,6 +1,7 @@
 (* Suppression directives are ordinary comments in the linted source:
 
      (* lint: sorted *)            audited R3 site (order cannot escape)
+     (* lint: unit us reason *)    audited U1/U2 site (asserted unit)
      (* lint: allow R6 reason *)   audited site for any one rule
      (* lint: disable R2 R7 *)     disable rules for the whole file
 
@@ -44,6 +45,10 @@ let parse_line ~line text =
           in
           match tokens_of body with
           | "sorted" :: _ -> Some { line; rules = [ Rules.R3 ]; file_wide = false }
+          | "unit" :: _ :: _ ->
+              (* The asserted unit token is documentation for the
+                 auditor; any nonempty token is accepted. *)
+              Some { line; rules = [ Rules.U1; Rules.U2 ]; file_wide = false }
           | ("allow" | "disable") :: ids as all_tokens ->
               let file_wide = List.hd all_tokens = "disable" in
               let rules = List.filter_map Rules.of_string ids in

@@ -4,6 +4,9 @@
 
     - [(* lint: sorted *)] — marks an audited R3 site whose iteration order
       provably cannot escape (commutative fold, or sorted downstream).
+    - [(* lint: unit <u> <reason> *)] — marks an audited U1/U2 site: the
+      author asserts the value is in unit [<u>] and the apparent mix is
+      deliberate (e.g. a checked reinterpretation).
     - [(* lint: allow R6 <reason> *)] — marks an audited site for any rule.
     - [(* lint: disable R2 R7 *)] — disables the listed rules file-wide.
 

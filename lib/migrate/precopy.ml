@@ -73,7 +73,10 @@ let run ?(plan = Plan.default) (hyp : Hypervisor.t) =
   let link =
     Link.create sim
       ~propagation:(cycles_of_us 2.0)
-      ~cycles_per_byte:(Machine.freq_ghz machine *. 8.0 /. plan.Plan.bandwidth_gbps)
+      ~cycles_per_byte:
+        (Link.cycles_per_byte_of_gbps
+           ~freq_ghz:(Machine.freq_ghz machine)
+           plan.Plan.bandwidth_gbps)
   in
   let dlog = Dirty_log.create (build_stage2 plan) in
   (* Shared state between the guest processes and the migration thread.

@@ -23,9 +23,16 @@ let create sim ~propagation ~cycles_per_byte =
     busy = 0;
   }
 
+(* The one dimension change on the wire path: line rate in Gbps to CPU
+   cycles per byte. gbps/8 bytes travel per ns while freq_ghz cycles
+   elapse, so one byte costs freq_ghz * 8 / gbps cycles. Named so the
+   units linter (U2) can recognise literal rates entering it. *)
+let cycles_per_byte_of_gbps ~freq_ghz gbps =
+  if gbps <= 0.0 then invalid_arg "Link.cycles_per_byte_of_gbps: rate <= 0";
+  freq_ghz *. 8.0 /. gbps
+
 let ten_gbe sim ~freq_ghz =
-  (* 10 Gb/s = 1.25 GB/s; a CPU cycle covers freq_ghz/1.25 bytes. *)
-  let cycles_per_byte = freq_ghz /. 1.25 in
+  let cycles_per_byte = cycles_per_byte_of_gbps ~freq_ghz 10.0 in
   let propagation = Cycles.of_us ~hz:(freq_ghz *. 1e9) 2.0 in
   create sim ~propagation ~cycles_per_byte
 

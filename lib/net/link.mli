@@ -14,6 +14,12 @@ val create :
   cycles_per_byte:float ->
   t
 
+val cycles_per_byte_of_gbps : freq_ghz:float -> float -> float
+(** The named Gbps → cycles/byte converter: [freq_ghz *. 8.0 /. gbps].
+    Every wire-rate constant should enter cycle arithmetic through
+    here (the U2 units lint treats it as the sanctioned dimension
+    change). Raises [Invalid_argument] on a non-positive rate. *)
+
 val ten_gbe :
   Armvirt_engine.Sim.t -> freq_ghz:float -> t
 (** A 10 GbE link as seen from a CPU at [freq_ghz]: ~2 μs one-way

@@ -426,8 +426,8 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
       match (str_member "schema" old_j, str_member "schema" new_j) with
       | Some "armvirt.stat/v1", Some "armvirt.stat/v1" ->
           let findings = ref [] in
-          let counts = thresholds.count_pct in
-          let cycles = thresholds.cycles_pct in
+          let count_tol_pct = thresholds.count_pct in
+          let cycles_tol_pct = thresholds.cycles_pct in
           let check = compare_value findings in
           let diff_exits prefix old_exits new_exits =
             let index l =
@@ -450,28 +450,28 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
                 with
                 | Some o, Some n ->
                     let get k j = Option.value ~default:0.0 (num_member k j) in
-                    check ~threshold:counts ~path:(path "count") (get "count" o)
+                    check ~threshold:count_tol_pct ~path:(path "count") (get "count" o)
                       (get "count" n);
                     let lat k j =
                       match member "latency" j with
                       | Some h -> Option.value ~default:0.0 (num_member k h)
                       | None -> 0.0
                     in
-                    check ~threshold:cycles ~path:(path "latency.sum")
+                    check ~threshold:cycles_tol_pct ~path:(path "latency.sum")
                       (lat "sum" o) (lat "sum" n)
                 | Some o, None ->
                     let c = Option.value ~default:0.0 (num_member "count" o) in
-                    check ~threshold:counts ~path:(path "count") c 0.0
+                    check ~threshold:count_tol_pct ~path:(path "count") c 0.0
                 | None, Some n ->
                     let c = Option.value ~default:0.0 (num_member "count" n) in
-                    check ~threshold:counts ~path:(path "count") 0.0 c
+                    check ~threshold:count_tol_pct ~path:(path "count") 0.0 c
                 | None, None -> ())
               reasons
           in
           let diff_vm old_vm new_vm =
             let prefix = Printf.sprintf "vm[%s]" (vm_key old_vm) in
             let get k j = Option.value ~default:0.0 (num_member k j) in
-            check ~threshold:counts
+            check ~threshold:count_tol_pct
               ~path:(prefix ^ ".entries")
               (get "entries" old_vm) (get "entries" new_vm);
             (* per_domain is optional (emitted only with --per-domain):
@@ -497,7 +497,7 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
                 List.iter
                   (fun d ->
                     let v i = Option.value ~default:0.0 (List.assoc_opt d i) in
-                    check ~threshold:counts
+                    check ~threshold:count_tol_pct
                       ~path:(Printf.sprintf "%s.per_domain[d%d].entries" prefix d)
                       (v old_i) (v new_i))
                   domids
@@ -522,7 +522,7 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
               (fun op ->
                 let o = Option.value ~default:0.0 (List.assoc_opt op old_ops) in
                 let n = Option.value ~default:0.0 (List.assoc_opt op new_ops) in
-                check ~threshold:counts
+                check ~threshold:count_tol_pct
                   ~path:(Printf.sprintf "%s.op[%s]" prefix op)
                   o n)
               names;
@@ -531,10 +531,10 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
               | Some a -> Option.value ~default:0.0 (num_member k a)
               | None -> 0.0
             in
-            check ~threshold:cycles
+            check ~threshold:cycles_tol_pct
               ~path:(prefix ^ ".attribution.guest")
               (attr "guest" old_vm) (attr "guest" new_vm);
-            check ~threshold:cycles
+            check ~threshold:cycles_tol_pct
               ~path:(prefix ^ ".attribution.hypervisor")
               (attr "hypervisor" old_vm) (attr "hypervisor" new_vm)
           in
@@ -568,7 +568,11 @@ let diff ?(thresholds = default_thresholds) old_doc new_doc =
                   let get j = Option.value ~default:0.0 (num_member field j) in
                   compare_value findings ~threshold
                     ~path:("totals." ^ field) (get ot) (get nt))
-                [ ("guest", cycles); ("hypervisor", cycles); ("exits", counts) ]
+                [
+                  ("guest", cycles_tol_pct);
+                  ("hypervisor", cycles_tol_pct);
+                  ("exits", count_tol_pct);
+                ]
           | _ -> ());
           Ok (List.rev !findings)
       | _ -> Error "not an armvirt.stat/v1 document")

@@ -110,5 +110,7 @@ let run ?(frames = 1500) ?tso_bug (hyp : Hypervisor.t) =
     gbps;
     window_frames;
     completion_round_trips = !round_trips;
-    backend_bound = gbps < backend_gbps *. 1.1 && backend_gbps < 9.0;
+    backend_bound =
+      (let saturation_gbps = 9.0 in
+       gbps < backend_gbps *. 1.1 && backend_gbps < saturation_gbps);
   }

@@ -3,6 +3,7 @@ module Cycles = Armvirt_engine.Cycles
 module Machine = Armvirt_arch.Machine
 module Packet = Armvirt_net.Packet
 module Link = Armvirt_net.Link
+module Marker = Armvirt_obs.Marker
 
 type port = {
   port_id : int;
@@ -56,8 +57,6 @@ let create ?(queue_capacity = 64) ?(learning = true) ~name machine profile =
 let name t = t.name
 let profile t = t.profile
 let num_ports t = List.length t.ports
-let counter t fmt = Printf.ksprintf (fun l -> Machine.count t.machine l) fmt
-
 let find_port t id =
   match List.find_opt (fun p -> p.port_id = id) t.ports with
   | Some p -> p
@@ -93,7 +92,7 @@ let set_handler t ~port deliver = (find_port t port).handler <- deliver
 let egress t p ~lead ~src ~dst pkt =
   if p.queued >= t.queue_capacity then begin
     p.dropped <- p.dropped + 1;
-    counter t "vswitch.%s/p%d/drop" t.name p.port_id
+    Machine.count t.machine (Marker.port ~switch:t.name ~port:p.port_id Marker.Drop)
   end
   else begin
     p.queued <- p.queued + 1;
@@ -113,13 +112,14 @@ let egress t p ~lead ~src ~dst pkt =
         Sim.delay (Cycles.sub arrival now);
         p.queued <- p.queued - 1;
         p.tx_frames <- p.tx_frames + 1;
-        counter t "vswitch.%s/p%d/tx" t.name p.port_id;
+        Machine.count t.machine
+          (Marker.port ~switch:t.name ~port:p.port_id Marker.Tx);
         p.handler ~src ~dst pkt)
   end
 
 let uplink_send t u ~src ~dst pkt =
   u.up_tx <- u.up_tx + 1;
-  counter t "wire.%s-u%d/tx" t.name u.up_id;
+  Machine.count t.machine (Marker.uplink ~switch:t.name ~uplink:u.up_id Marker.Tx);
   (* Trunk ports tag the frame: +4 bytes of 802.1Q on the wire. *)
   Packet.set_framing pkt (Packet.framing_bytes pkt + Packet.vlan_tag_bytes);
   Link.send u.up_link pkt ~deliver:(fun pkt -> u.up_deliver ~src ~dst pkt)
@@ -166,7 +166,7 @@ let rec forward t ~ingress ~src ~dst pkt =
 
 and flood t ~ingress ~src ~dst pkt =
   t.flooded <- t.flooded + 1;
-  counter t "vswitch.%s/flood" t.name;
+  Machine.count t.machine (Marker.flood ~switch:t.name);
   let skip_port =
     match ingress with From_port i -> Some i | From_uplink _ -> None
   in
@@ -189,7 +189,7 @@ and flood t ~ingress ~src ~dst pkt =
 let transmit t ~port ~dst pkt =
   let p = find_port t port in
   p.rx_frames <- p.rx_frames + 1;
-  counter t "vswitch.%s/p%d/rx" t.name p.port_id;
+  Machine.count t.machine (Marker.port ~switch:t.name ~port:p.port_id Marker.Rx);
   (* The sending guest's kick plus the backend's TX path, charged in
      the caller's (guest) process like the netperf model does. *)
   Machine.spend t.machine "vswitch.ingress"
@@ -216,13 +216,15 @@ let connect a b ~a_to_b ~b_to_a =
     (fun ~src ~dst pkt ->
       Packet.set_framing pkt (Packet.framing_bytes pkt - Packet.vlan_tag_bytes);
       ub.up_rx <- ub.up_rx + 1;
-      counter b "wire.%s-u%d/rx" b.name ub.up_id;
+      Machine.count b.machine
+        (Marker.uplink ~switch:b.name ~uplink:ub.up_id Marker.Rx);
       forward b ~ingress:(From_uplink ub.up_id) ~src ~dst pkt);
   ub.up_deliver <-
     (fun ~src ~dst pkt ->
       Packet.set_framing pkt (Packet.framing_bytes pkt - Packet.vlan_tag_bytes);
       ua.up_rx <- ua.up_rx + 1;
-      counter a "wire.%s-u%d/rx" a.name ua.up_id;
+      Machine.count a.machine
+        (Marker.uplink ~switch:a.name ~uplink:ua.up_id Marker.Rx);
       forward a ~ingress:(From_uplink ua.up_id) ~src ~dst pkt)
 
 type port_stats = {

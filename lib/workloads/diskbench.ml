@@ -20,7 +20,8 @@ let guest_blk_path (g : Kernel_costs.t) =
 let request_cycles (hyp : Hypervisor.t) ~device ~bytes ~write =
   let p = hyp.Hypervisor.io_profile in
   let freq_ghz = Machine.freq_ghz hyp.Hypervisor.machine in
-  let pages = (bytes + 4095) / 4096 in
+  let page_bytes = 4096 in
+  let pages = (bytes + page_bytes - 1) / page_bytes in
   let virt =
     p.Io_profile.kick_guest_cpu + p.Io_profile.notify_latency
     + p.Io_profile.backend_cpu_per_packet

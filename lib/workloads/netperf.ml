@@ -251,7 +251,8 @@ let tcp_maerts ?tso_bug (hyp : Hypervisor.t) =
       float_of_int window_bytes /. (float_of_int rtt_cycles /. hz) *. 8.0 /. 1e9
     in
     let chunk_bytes = batch * mtu in
-    let pages = (chunk_bytes + 4095) / 4096 in
+    let page_bytes = 4096 in
+    let pages = (chunk_bytes + page_bytes - 1) / page_bytes in
     let backend_chunk =
       p.Io_profile.backend_cpu_per_packet
       + (pages * p.Io_profile.tx_grant_per_packet)
